@@ -1,0 +1,1 @@
+bench/ablation.ml: Format List Net Stats Urcgc Workload

@@ -1,0 +1,1 @@
+bench/fig4.ml: Float Format List Net Option Printf Sim Stats Urcgc Workload

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Cbcast Float Format List Net Option Sim Stats Urcgc

@@ -1,0 +1,1 @@
+bench/fig6.ml: Format List Net Printf Sim Stats Urcgc Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig4 Fig5 Fig6 Format List Micro Ordering Resilience Scale Service Sys Table1 Timing

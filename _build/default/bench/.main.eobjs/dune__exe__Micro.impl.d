@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Causal Cbcast Format Hashtbl Instance List Measure Net Sim Staged Test Time Toolkit Urcgc

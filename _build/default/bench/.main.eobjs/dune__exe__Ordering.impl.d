@@ -1,0 +1,1 @@
+bench/ordering.ml: Float Format Hashtbl List Net Sim Stats Urcgc Urgc Workload

@@ -1,0 +1,1 @@
+bench/resilience.ml: Format List Net Printf Stats Urcgc Workload

@@ -1,0 +1,1 @@
+bench/scale.ml: Float Format List Printf Stats Urcgc Workload

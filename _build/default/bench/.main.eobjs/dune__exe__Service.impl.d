@@ -1,0 +1,1 @@
+bench/service.ml: Float Format List Net Sim Stats Urcgc

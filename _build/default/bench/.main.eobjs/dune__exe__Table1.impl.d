@@ -1,0 +1,1 @@
+bench/table1.ml: Format Net Printf Sim Stats Urcgc Workload

@@ -1,0 +1,1 @@
+bench/timing.ml: Format List Net Printf Sim Stats Urcgc Workload

@@ -1,0 +1,95 @@
+(* Figure 4: mean end-to-end delay D (in rtd) against the offered load of
+   user messages, under reliable conditions, 4 crashes, and omission rates of
+   1/500 and 1/100.
+
+   The paper's claims to reproduce:
+   - D >= 1/2 rtd always;
+   - the reliable and crash curves coincide (urcgc copes with crashes
+     without suspending normal processing);
+   - omissions raise D (1/100 above 1/500), increasingly with load. *)
+
+let n = 15
+let k = 3
+let messages = 300
+
+let loads = [ 0.1; 0.25; 0.4; 0.55; 0.7; 0.85; 1.0 ]
+
+type condition = { label : string; fault : Net.Fault.spec }
+
+let conditions =
+  let crash4 =
+    (* Four server crashes spread over the run (none is a coordinator at its
+       crash subrun, matching "the crash of a server process"). *)
+    Net.Fault.with_crashes
+      (List.map
+         (fun (i, subrun) ->
+           ( Net.Node_id.of_int i,
+             Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1) ))
+         [ (9, 3); (11, 5); (12, 7); (14, 9) ])
+      Net.Fault.reliable
+  in
+  [
+    { label = "reliable"; fault = Net.Fault.reliable };
+    { label = "4 crashes"; fault = crash4 };
+    { label = "omission 1/500"; fault = Net.Fault.omission_every 500 };
+    { label = "omission 1/100"; fault = Net.Fault.omission_every 100 };
+  ]
+
+let seeds = [ 42; 43; 44 ]
+
+let measure condition load =
+  let one seed =
+    let config = Urcgc.Config.make ~k ~n () in
+    let load_model =
+      Workload.Load.make ~rate:load ~total_messages:messages ()
+    in
+    let scenario =
+      Workload.Scenario.make
+        ~name:(Printf.sprintf "fig4-%s-%.2f" condition.label load)
+        ~fault:condition.fault ~seed ~max_rtd:400.0 ~config ~load:load_model ()
+    in
+    let report = Workload.Runner.run scenario in
+    if not (Workload.Checker.ok report.Workload.Runner.verdict) then
+      Format.printf "  !! invariant violation under %s load %.2f (seed %d)@."
+        condition.label load seed;
+    Workload.Runner.mean_delay_rtd report
+  in
+  List.fold_left (fun acc seed -> acc +. one seed) 0.0 seeds
+  /. float_of_int (List.length seeds)
+
+let run () =
+  Format.printf "@.== Figure 4: mean end-to-end delay D vs offered load ==@.";
+  Format.printf
+    "   (n = %d, K = %d, %d messages per run, mean over 3 seeds;@." n k
+    messages;
+  Format.printf "    load = per-process submission@.";
+  Format.printf "    probability per round; D in rtd units)@.@.";
+  let series =
+    List.map
+      (fun condition ->
+        let points =
+          List.map (fun load -> (load, measure condition load)) loads
+        in
+        Stats.Series.make ~label:condition.label points)
+      conditions
+  in
+  Stats.Series.pp_table Format.std_formatter series;
+  Format.printf "@.";
+  Stats.Series.ascii_plot ~width:60 ~height:14 Format.std_formatter series;
+  (* Shape assertions the paper's figure makes. *)
+  let reliable = List.nth series 0
+  and crash = List.nth series 1
+  and om500 = List.nth series 2
+  and om100 = List.nth series 3 in
+  let close a b = Float.abs (a -. b) < 0.05 in
+  let at s load = Option.value ~default:nan (Stats.Series.y_at s load) in
+  let all_loads p = List.for_all p loads in
+  Format.printf "@.shape checks:@.";
+  Format.printf "  D >= 1/2 rtd - epsilon everywhere: %b@."
+    (List.for_all
+       (fun s -> List.for_all (fun (_, y) -> y >= 0.42) s.Stats.Series.points)
+       series);
+  Format.printf "  reliable and crash curves coincide: %b@."
+    (all_loads (fun l -> close (at reliable l) (at crash l)));
+  Format.printf "  omission 1/100 above 1/500 above reliable (at high load): %b@."
+    (at om100 1.0 > at om500 1.0 && at om500 1.0 > at reliable 1.0)

@@ -1,0 +1,55 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section 6).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig4    # one experiment
+     dune exec bench/main.exe -- fig5 table1 fig6a fig6b micro
+*)
+
+let experiments =
+  [
+    ("fig4", "Figure 4: mean end-to-end delay vs offered load", Fig4.run);
+    ("fig5", "Figure 5: recovery time vs coordinator crashes", Fig5.run);
+    ("table1", "Table 1: control message count and size", Table1.run);
+    ("fig6a", "Figure 6a: history length vs time", Fig6.run_a_only);
+    ("fig6b", "Figure 6b: history under flow control", Fig6.run_b_only);
+    ("ablation", "Ablations: transport mounting, causal-label density", Ablation.run);
+    ("ordering", "Total (urgc) vs causal (urcgc) ordering service", Ordering.run);
+    ("resilience", "Resilience sweep across the t=(n-1)/2 budget", Resilience.run);
+    ("timing", "Latency sweep across the round-synchrony boundary", Timing.run);
+    ("scale", "Control-plane cost vs group size", Scale.run);
+    ("service", "Service-rate ceiling: one message per process per round", Service.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let args = List.filter (fun a -> a <> "--") args in
+  match args with
+  | [] ->
+      (* Full sweep: fig6 a) and b) share the expensive faulty runs. *)
+      Fig4.run ();
+      Fig5.run ();
+      Table1.run ();
+      Fig6.run ();
+      Ablation.run ();
+      Ordering.run ();
+      Resilience.run ();
+      Timing.run ();
+      Scale.run ();
+      Service.run ();
+      Micro.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (key, _, _) -> key = name) experiments with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Format.eprintf "unknown experiment %S; available:@." name;
+              List.iter
+                (fun (key, doc, _) -> Format.eprintf "  %-8s %s@." key doc)
+                experiments;
+              exit 2)
+        names

@@ -1,0 +1,113 @@
+(* Bechamel micro-benchmarks of the hot paths backing each experiment:
+   history maintenance, the coordinator decision, vector-clock operations,
+   and a complete simulated subrun. *)
+
+open Bechamel
+open Toolkit
+
+let node n = Net.Node_id.of_int n
+
+let bench_history =
+  Test.make ~name:"history store+purge (64 msgs)"
+    (Staged.stage (fun () ->
+         let h = Causal.History.create ~n:8 in
+         for s = 1 to 64 do
+           let origin = node (s mod 8) in
+           let mid = Causal.Mid.make ~origin ~seq:((s / 8) + 1) in
+           Causal.History.store h
+             (Causal.Causal_msg.make ~mid ~deps:[] ~payload_size:16 ())
+         done;
+         for i = 0 to 7 do
+           ignore (Causal.History.purge_upto h ~origin:(node i) ~seq:4)
+         done))
+
+let bench_decision =
+  let config = Urcgc.Config.make ~n:15 () in
+  let prev = Urcgc.Decision.initial ~n:15 in
+  let requests =
+    List.init 15 (fun i ->
+        {
+          Urcgc.Wire.sender = node i;
+          subrun = 0;
+          last_processed = Array.make 15 ((i * 3) mod 7);
+          waiting = Array.make 15 None;
+          prev_decision = prev;
+        })
+  in
+  Test.make ~name:"coordinator decision (n=15)"
+    (Staged.stage (fun () ->
+         ignore
+           (Urcgc.Coordinator.compute ~config ~subrun:0 ~coordinator:(node 0)
+              ~prev ~requests)))
+
+let bench_vclock =
+  Test.make ~name:"vclock merge+deliverable (n=40)"
+    (Staged.stage (fun () ->
+         let a = Cbcast.Vclock.create ~n:40 in
+         let b = Cbcast.Vclock.create ~n:40 in
+         for i = 0 to 39 do
+           if i mod 2 = 0 then Cbcast.Vclock.tick b (node i)
+         done;
+         Cbcast.Vclock.merge a b;
+         ignore (Cbcast.Vclock.deliverable ~msg_vt:b ~from:(node 0) ~local:a)))
+
+let bench_subrun =
+  Test.make ~name:"one full urcgc subrun (n=15)"
+    (Staged.stage (fun () ->
+         let config = Urcgc.Config.make ~n:15 () in
+         let engine = Sim.Engine.create () in
+         let rng = Sim.Rng.create ~seed:1 in
+         let fault =
+           Net.Fault.create Net.Fault.reliable ~rng:(Sim.Rng.split rng)
+         in
+         let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+         let cluster = Urcgc.Cluster.create ~config ~net () in
+         List.iter
+           (fun n -> Urcgc.Cluster.submit cluster n 0)
+           (Net.Node_id.group 15);
+         Urcgc.Cluster.start cluster;
+         Sim.Engine.run engine ~until:(Sim.Ticks.of_int Sim.Ticks.per_rtd)))
+
+let bench_waiting =
+  Test.make ~name:"waiting list churn (32 msgs)"
+    (Staged.stage (fun () ->
+         let w = Causal.Waiting_list.create ~n:4 in
+         let d = Causal.Delivery.create ~n:4 in
+         for s = 32 downto 1 do
+           let mid = Causal.Mid.make ~origin:(node 1) ~seq:s in
+           Causal.Waiting_list.add w
+             (Causal.Causal_msg.make ~mid ~deps:[] ~payload_size:8 ())
+         done;
+         let rec drain () =
+           match Causal.Waiting_list.take_processable w d with
+           | Some msg ->
+               Causal.Delivery.mark d msg.Causal.Causal_msg.mid;
+               drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let benchmarks =
+  [ bench_history; bench_decision; bench_vclock; bench_subrun; bench_waiting ]
+
+let run () =
+  Format.printf "@.== Micro-benchmarks (Bechamel) ==@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ time_ns ] ->
+              Format.printf "  %-36s %12.0f ns/run@." name time_ns
+          | Some _ | None -> Format.printf "  %-36s (no estimate)@." name)
+        stats)
+    benchmarks

@@ -1,0 +1,99 @@
+(* Group-size scaling of the control plane.
+
+   Section 6's sizing argument, extended into a sweep: "a message that urcgc
+   generates for a group of 15 processes fits into a single IP datagram
+   packet, by considering its minimum size of 576 bytes.  Processes in the
+   group become 40 if the maximum allowed data field of an Ethernet packet
+   is considered."  Control PDUs carry per-process vectors, so their size is
+   Theta(n) and the per-subrun control load is Theta(n^2) bytes; the sweep
+   measures both and marks where the PDUs outgrow the two datagram budgets
+   the paper names. *)
+
+let k = 3
+let messages = 120
+
+let run_at ~n =
+  let config = Urcgc.Config.make ~k ~n () in
+  let load = Workload.Load.make ~rate:0.3 ~total_messages:messages () in
+  let scenario =
+    Workload.Scenario.make
+      ~name:(Printf.sprintf "scale-%d" n)
+      ~seed:42 ~max_rtd:200.0 ~config ~load ()
+  in
+  Workload.Runner.run scenario
+
+let run () =
+  Format.printf "@.== Scale sweep: control-plane cost vs group size ==@.";
+  Format.printf "   (K = %d, %d messages, reliable network)@.@." k messages;
+  let table =
+    Stats.Table.create
+      ~columns:
+        [
+          ("n", Stats.Table.Right);
+          ("ctl msgs/subrun", Stats.Table.Right);
+          ("max ctl PDU (B)", Stats.Table.Right);
+          ("ctl bytes/subrun", Stats.Table.Right);
+          ("fits 576B IP", Stats.Table.Left);
+          ("fits 1500B Ether", Stats.Table.Left);
+          ("mean D (rtd)", Stats.Table.Right);
+        ]
+  in
+  let sweep = [ 5; 10; 15; 25; 40; 60 ] in
+  let results =
+    List.map
+      (fun n ->
+        let r = run_at ~n in
+        if not (Workload.Checker.ok r.Workload.Runner.verdict) then
+          Format.printf "  !! invariant violation at n=%d@." n;
+        let per_subrun = Workload.Runner.control_msgs_per_subrun r in
+        let bytes_per_subrun =
+          if r.Workload.Runner.subruns = 0 then 0.0
+          else
+            float_of_int r.Workload.Runner.control_bytes
+            /. float_of_int r.Workload.Runner.subruns
+        in
+        let max_pdu = r.Workload.Runner.control_max_size in
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int n;
+            Stats.Table.cell_float ~decimals:1 per_subrun;
+            Stats.Table.cell_int max_pdu;
+            Stats.Table.cell_float ~decimals:0 bytes_per_subrun;
+            (if max_pdu <= Stats.Analytic.ip_min_datagram then "yes" else "no");
+            (if max_pdu <= Stats.Analytic.ethernet_max_payload then "yes"
+             else "NO");
+            Stats.Table.cell_float ~decimals:3
+              (Workload.Runner.mean_delay_rtd r);
+          ];
+        (n, per_subrun, max_pdu, bytes_per_subrun))
+      sweep
+  in
+  Stats.Table.pp Format.std_formatter table;
+  Format.printf "@.shape checks:@.";
+  let at n =
+    match List.find_opt (fun (n', _, _, _) -> n' = n) results with
+    | Some (_, msgs, pdu, bytes) -> (msgs, pdu, bytes)
+    | None -> (nan, 0, nan)
+  in
+  let pdu_at n = let _, p, _ = at n in p in
+  let bytes_at n = let _, _, b = at n in b in
+  Format.printf "  message count tracks 2(n-1): %b@."
+    (List.for_all
+       (fun (n, msgs, _, _) ->
+         Float.abs (msgs -. float_of_int (2 * (n - 1)))
+         /. float_of_int (2 * (n - 1))
+         < 0.25)
+       results);
+  Format.printf "  PDU size grows linearly (n=40 about 2.6x n=15): %b@."
+    (let ratio = float_of_int (pdu_at 40) /. float_of_int (pdu_at 15) in
+     ratio > 2.2 && ratio < 3.2);
+  Format.printf "  bytes/subrun superlinear (n^2-ish): %b@."
+    (bytes_at 40 /. bytes_at 10 > 10.0);
+  Format.printf "  the paper's datagram landmarks hold (n=15 in 576B, n=40 \
+                 in 1500B): %b@."
+    (pdu_at 15 <= Stats.Analytic.ip_min_datagram
+    && pdu_at 40 <= Stats.Analytic.ethernet_max_payload);
+  Format.printf
+    "  (beyond n=40, Section 5's transport fragmentation applies — see the \
+     net.fragmentation tests)@."
+

@@ -1,0 +1,93 @@
+(* The service rate (Section 5): "In absence of failures, the urcgc service
+   guarantees to process one message a round.  This produces the maximum
+   attainable service rate."
+
+   The sweep offers each process a fixed number of submissions per round —
+   below, at, and beyond that ceiling — and measures the achieved rate and
+   the SAP backlog: throughput must clamp at exactly one message per process
+   per round, with the excess queueing at the service access point. *)
+
+let n = 8
+let k = 3
+let rounds = 40
+
+let run_at ~per_round =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:42 in
+  let fault = Net.Fault.create Net.Fault.reliable ~rng:(Sim.Rng.split rng) in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let config = Urcgc.Config.make ~k ~n () in
+  let cluster = Urcgc.Cluster.create ~config ~net () in
+  let submitted = ref 0 in
+  Urcgc.Cluster.on_round cluster (fun ~round ->
+      if round < rounds then
+        List.iter
+          (fun node ->
+            for _ = 1 to per_round do
+              incr submitted;
+              Urcgc.Cluster.submit cluster node !submitted
+            done)
+          (Net.Node_id.group n));
+  Urcgc.Cluster.start cluster;
+  Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd (float_of_int rounds /. 2.0));
+  let generated = List.length (Urcgc.Cluster.generations cluster) in
+  let backlog =
+    List.fold_left
+      (fun acc member -> acc + Urcgc.Member.sap_backlog member)
+      0
+      (Urcgc.Cluster.members cluster)
+  in
+  let per_process_per_round =
+    float_of_int generated /. float_of_int n /. float_of_int rounds
+  in
+  (per_process_per_round, backlog, !submitted)
+
+let run () =
+  Format.printf
+    "@.== Service-rate ceiling: one message per process per round ==@.";
+  Format.printf "   (n = %d, %d rounds of submissions, reliable network)@.@." n
+    rounds;
+  let table =
+    Stats.Table.create
+      ~columns:
+        [
+          ("offered/round", Stats.Table.Right);
+          ("achieved/round", Stats.Table.Right);
+          ("SAP backlog at end", Stats.Table.Right);
+          ("submitted", Stats.Table.Right);
+        ]
+  in
+  let results =
+    List.map
+      (fun per_round ->
+        let achieved, backlog, submitted = run_at ~per_round in
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int per_round;
+            Stats.Table.cell_float ~decimals:3 achieved;
+            Stats.Table.cell_int backlog;
+            Stats.Table.cell_int submitted;
+          ];
+        (per_round, achieved, backlog))
+      [ 1; 2; 3 ]
+  in
+  Stats.Table.pp Format.std_formatter table;
+  Format.printf "@.shape checks:@.";
+  let achieved_at p =
+    match List.find_opt (fun (p', _, _) -> p' = p) results with
+    | Some (_, a, _) -> a
+    | None -> nan
+  in
+  let backlog_at p =
+    match List.find_opt (fun (p', _, _) -> p' = p) results with
+    | Some (_, _, b) -> b
+    | None -> 0
+  in
+  Format.printf "  at offered = 1 the service keeps up (~1.0 achieved): %b@."
+    (Float.abs (achieved_at 1 -. 1.0) < 0.05);
+  Format.printf
+    "  beyond the ceiling throughput clamps at ~1.0 per round: %b@."
+    (Float.abs (achieved_at 2 -. 1.0) < 0.05
+    && Float.abs (achieved_at 3 -. 1.0) < 0.05);
+  Format.printf "  the excess queues at the SAP (backlog grows with load): %b@."
+    (backlog_at 3 > backlog_at 2 && backlog_at 2 > backlog_at 1)

@@ -1,0 +1,103 @@
+(* The round-synchrony assumption, probed.
+
+   The paper assumes the subrun is "as long as the round trip delay": a
+   request sent at a round boundary reaches the coordinator before it
+   computes, and the decision reaches everyone before the next subrun.  That
+   holds while the one-way latency stays below half an rtd.  This sweep
+   stretches the one-way latency across that boundary.
+
+   What it shows: once requests arrive after the coordinator computes, every
+   subrun looks like a mass omission — far beyond the resilience budget
+   t = (n-1)/2 the algorithm's correctness rests on.  Mutual crash
+   declarations follow and the group fragments into mutually exclusive
+   views (split-brain).  That is the measured reason for the paper's sizing
+   rule, "assuming the subrun as long as the round trip delay": the protocol
+   has no quorum rule protecting group membership, so its failure budget
+   must genuinely hold. *)
+
+let n = 10
+let k = 3
+let messages = 120
+
+let run_at ~base_ticks ~seed =
+  let config = Urcgc.Config.make ~k ~silence_limit:(4 * k) ~n () in
+  let load = Workload.Load.make ~rate:0.4 ~total_messages:messages () in
+  let latency = { Net.Netsim.base = Sim.Ticks.of_int base_ticks; jitter = 10 } in
+  let scenario =
+    Workload.Scenario.make
+      ~name:(Printf.sprintf "timing-%d" base_ticks)
+      ~latency ~seed ~max_rtd:300.0 ~config ~load ()
+  in
+  Workload.Runner.run scenario
+
+let run () =
+  Format.printf
+    "@.== Timing sweep: one-way latency vs the rtd/2 round boundary ==@.";
+  Format.printf
+    "   (n = %d, K = %d; a round is %d ticks; requests sent at round start)@.@."
+    n k (Sim.Ticks.to_int Sim.Ticks.round);
+  let table =
+    Stats.Table.create
+      ~columns:
+        [
+          ("one-way (ticks)", Stats.Table.Right);
+          ("vs round", Stats.Table.Left);
+          ("mean D (rtd)", Stats.Table.Right);
+          ("history peak", Stats.Table.Right);
+          ("group fragments", Stats.Table.Right);
+          ("invariants", Stats.Table.Left);
+        ]
+  in
+  let sweep = [ 25; 40; 48; 60; 80; 110 ] in
+  let results =
+    List.map
+      (fun base_ticks ->
+        let runs = List.map (fun seed -> run_at ~base_ticks ~seed) [ 42; 43 ] in
+        let mean f =
+          List.fold_left (fun acc r -> acc +. f r) 0.0 runs /. 2.0
+        in
+        let delay = mean Workload.Runner.mean_delay_rtd in
+        let peak = mean (fun r -> float_of_int r.Workload.Runner.history_peak) in
+        let fragments =
+          mean (fun r -> float_of_int r.Workload.Runner.fragments)
+        in
+        let safe =
+          List.for_all
+            (fun r -> Workload.Checker.ok r.Workload.Runner.verdict)
+            runs
+        in
+        let regime =
+          if base_ticks + 10 <= (Sim.Ticks.to_int Sim.Ticks.round) then "within"
+          else if base_ticks < Sim.Ticks.per_rtd then "late requests"
+          else "beyond the rtd"
+        in
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int base_ticks;
+            regime;
+            Stats.Table.cell_float ~decimals:3 delay;
+            Stats.Table.cell_float ~decimals:0 peak;
+            Stats.Table.cell_float ~decimals:1 fragments;
+            (if safe then "ok" else "VIOLATED");
+          ];
+        (base_ticks, peak, fragments, safe))
+      sweep
+  in
+  Stats.Table.pp Format.std_formatter table;
+  Format.printf "@.shape checks:@.";
+  let at t =
+    match List.find_opt (fun (t', _, _, _) -> t' = t) results with
+    | Some (_, p, f, _) -> (p, f)
+    | None -> (nan, nan)
+  in
+  Format.printf
+    "  within the round budget: one view, everything healthy: %b@."
+    (List.for_all
+       (fun (t, _, fragments, safe) -> t > 40 || (safe && fragments = 1.0))
+       results);
+  Format.printf
+    "  past the boundary the group fragments (split-brain): %b@."
+    (snd (at 60) > 1.0 && snd (at 110) > 1.0);
+  Format.printf
+    "  and history sits longer as coverage stalls: %b@."
+    (fst (at 60) > fst (at 40))

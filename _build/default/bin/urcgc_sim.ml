@@ -1,0 +1,245 @@
+(* Command-line front end: run an ad-hoc urcgc scenario and print the report.
+
+   Examples:
+     urcgc_sim run -n 15 --rate 0.5 --messages 200
+     urcgc_sim run -n 40 --crash 3@5 --crash 7@5 --omission 500 -K 4 --trace
+*)
+
+let parse_crash s =
+  match String.split_on_char '@' s with
+  | [ node; subrun ] -> (
+      match (int_of_string_opt node, int_of_string_opt subrun) with
+      | Some node, Some subrun when node >= 0 && subrun >= 0 ->
+          Ok (Net.Node_id.of_int node, subrun)
+      | _ -> Error (`Msg "crash must be <node>@<subrun>"))
+  | _ -> Error (`Msg "crash must be <node>@<subrun>")
+
+let crash_conv =
+  Cmdliner.Arg.conv
+    ( parse_crash,
+      fun ppf (node, subrun) ->
+        Format.fprintf ppf "%d@%d" (Net.Node_id.to_int node) subrun )
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 15 & info [ "n"; "group-size" ] ~doc:"Group cardinality.")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "K"; "retries" ] ~doc:"Crash-detection retries K.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "rate" ] ~doc:"Per-process submission probability per round.")
+
+let messages_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "messages" ] ~doc:"Total messages to generate before draining.")
+
+let omission_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "omission" ]
+        ~doc:"Omission failure rate: one omission every $(docv) packets."
+        ~docv:"N")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt_all crash_conv []
+    & info [ "crash" ] ~doc:"Fail-stop $(docv) (repeatable)." ~docv:"NODE@SUBRUN")
+
+let flow_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "flow-control" ] ~doc:"Enable the 8n history flow-control threshold.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol trace.")
+
+let codec_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "codec" ]
+        ~doc:"Run every PDU through the binary wire codec in flight.")
+
+let max_rtd_arg =
+  Arg.(value & opt float 400.0 & info [ "max-rtd" ] ~doc:"Simulated time cap.")
+
+let run_scenario n k rate messages omission crashes flow seed trace codec
+    max_rtd =
+  let flow_threshold = if flow then Some (Some (8 * n)) else None in
+  let config = Urcgc.Config.make ~k ?flow_threshold ~n () in
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  let fault =
+    let base =
+      match omission with
+      | Some every -> Net.Fault.omission_every every
+      | None -> Net.Fault.reliable
+    in
+    Net.Fault.with_crashes
+      (List.map
+         (fun (node, subrun) ->
+           (node, Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1)))
+         crashes)
+      base
+  in
+  let scenario =
+    Workload.Scenario.make ~name:"cli" ~fault ~codec_boundary:codec ~seed
+      ~max_rtd ~config ~load ()
+  in
+  let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  let report = Workload.Runner.run ~tracer scenario in
+  if trace then Sim.Tracer.dump Format.std_formatter tracer;
+  Format.printf "%a@." Workload.Runner.pp_report report;
+  if Workload.Checker.ok report.Workload.Runner.verdict then 0 else 1
+
+let run_cmd =
+  let term =
+    Term.(
+      const run_scenario $ n_arg $ k_arg $ rate_arg $ messages_arg
+      $ omission_arg $ crash_arg $ flow_arg $ seed_arg $ trace_arg $ codec_arg
+      $ max_rtd_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a urcgc scenario and print its report.") term
+
+let run_cbcast n k rate messages crashes seed trace max_rtd =
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  let fault =
+    Net.Fault.with_crashes
+      (List.map
+         (fun (node, subrun) ->
+           (node, Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1)))
+         crashes)
+      Net.Fault.reliable
+  in
+  let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  let report =
+    Workload.Runner_cbcast.run ~tracer ~n ~k ~load ~fault ~seed ~max_rtd ()
+  in
+  if trace then Sim.Tracer.dump Format.std_formatter tracer;
+  Format.printf "%a@." Workload.Runner_cbcast.pp_report report;
+  if
+    report.Workload.Runner_cbcast.causal_ok
+    && report.Workload.Runner_cbcast.atomicity_ok
+  then 0
+  else 1
+
+let cbcast_cmd =
+  let term =
+    Term.(
+      const run_cbcast $ n_arg $ k_arg $ rate_arg $ messages_arg $ crash_arg
+      $ seed_arg $ trace_arg $ max_rtd_arg)
+  in
+  Cmd.v
+    (Cmd.info "cbcast" ~doc:"Run the CBCAST baseline on the same scenario shape.")
+    term
+
+let run_psync n k rate messages omission crashes seed trace max_rtd =
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  let fault =
+    let base =
+      match omission with
+      | Some every -> Net.Fault.omission_every every
+      | None -> Net.Fault.reliable
+    in
+    Net.Fault.with_crashes
+      (List.map
+         (fun (node, subrun) ->
+           (node, Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1)))
+         crashes)
+      base
+  in
+  let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  let report =
+    Workload.Runner_psync.run ~tracer ~n ~k ~load ~fault ~seed ~max_rtd ()
+  in
+  if trace then Sim.Tracer.dump Format.std_formatter tracer;
+  Format.printf "%a@." Workload.Runner_psync.pp_report report;
+  if report.Workload.Runner_psync.causal_ok then 0 else 1
+
+let psync_cmd =
+  let term =
+    Term.(
+      const run_psync $ n_arg $ k_arg $ rate_arg $ messages_arg $ omission_arg
+      $ crash_arg $ seed_arg $ trace_arg $ max_rtd_arg)
+  in
+  Cmd.v
+    (Cmd.info "psync" ~doc:"Run the Psync baseline on the same scenario shape.")
+    term
+
+let run_urgc n k rate messages omission crashes seed max_rtd =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let fault_spec =
+    let base =
+      match omission with
+      | Some every -> Net.Fault.omission_every every
+      | None -> Net.Fault.reliable
+    in
+    Net.Fault.with_crashes
+      (List.map
+         (fun (node, subrun) ->
+           (node, Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1)))
+         crashes)
+      base
+  in
+  let fault = Net.Fault.create fault_spec ~rng:(Sim.Rng.split rng) in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let cluster = Urgc.Cluster.create ~n ~k ~net () in
+  let produced = ref 0 in
+  Urgc.Cluster.on_round cluster (fun ~round:_ ->
+      List.iter
+        (fun node ->
+          if !produced < messages && Sim.Rng.bool rng rate then begin
+            incr produced;
+            Urgc.Cluster.submit cluster node !produced
+          end)
+        (Net.Node_id.group n));
+  Urgc.Cluster.start cluster;
+  let rtd = Sim.Ticks.of_int Sim.Ticks.per_rtd in
+  let rec advance () =
+    let now = Sim.Engine.now engine in
+    if Sim.Ticks.to_rtd now >= max_rtd then ()
+    else begin
+      Sim.Engine.run engine ~until:(Sim.Ticks.add now rtd);
+      if !produced >= messages && Urgc.Cluster.quiescent cluster then ()
+      else advance ()
+    end
+  in
+  advance ();
+  let ok = Urgc.Cluster.total_order_ok cluster in
+  Format.printf
+    "urgc: generated=%d processed events=%d over %d subruns; total order: %b@."
+    (List.length (Urgc.Cluster.generations cluster))
+    (List.length (Urgc.Cluster.deliveries cluster))
+    (Urgc.Cluster.subrun cluster) ok;
+  if ok then 0 else 1
+
+let urgc_cmd =
+  let term =
+    Term.(
+      const run_urgc $ n_arg $ k_arg $ rate_arg $ messages_arg $ omission_arg
+      $ crash_arg $ seed_arg $ max_rtd_arg)
+  in
+  Cmd.v
+    (Cmd.info "urgc"
+       ~doc:"Run the total-order companion algorithm on the same scenario shape.")
+    term
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "urcgc_sim" ~version:"1.0.0"
+       ~doc:"Simulator for the urcgc causal reliable multicast protocol.")
+    [ run_cmd; cbcast_cmd; psync_cmd; urgc_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

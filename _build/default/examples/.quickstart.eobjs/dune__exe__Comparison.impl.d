@@ -1,0 +1,1 @@
+examples/comparison.ml: Format Net Printf Sim Stats Urcgc Workload

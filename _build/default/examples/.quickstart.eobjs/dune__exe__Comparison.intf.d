@@ -1,0 +1,1 @@
+examples/comparison.mli:

@@ -1,0 +1,1 @@
+examples/control_room.ml: Array Causal Format Hashtbl List Net Option Printf Sim Urcgc

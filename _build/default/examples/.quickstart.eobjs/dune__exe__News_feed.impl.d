@@ -1,0 +1,1 @@
+examples/news_feed.ml: Causal Format Groups List Net Sim Urcgc

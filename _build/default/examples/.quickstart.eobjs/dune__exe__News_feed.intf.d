@@ -1,0 +1,1 @@
+examples/news_feed.mli:

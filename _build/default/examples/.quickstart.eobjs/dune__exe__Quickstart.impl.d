@@ -1,0 +1,1 @@
+examples/quickstart.ml: Causal Format List Net Sim Urcgc

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Format List Net Sim Urcgc

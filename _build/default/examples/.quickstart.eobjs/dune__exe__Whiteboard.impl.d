@@ -1,0 +1,1 @@
+examples/whiteboard.ml: Array Causal Format List Net Printf Sim String Urcgc

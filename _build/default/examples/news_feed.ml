@@ -1,0 +1,91 @@
+(* News feed: a diffusion group (Section 3) with a client-server front end.
+
+   Run with:  dune exec examples/news_feed.exe
+
+   Five editors form the urcgc peer group.  Two reader terminals are
+   diffusion clients: they receive every published item in causal order but
+   never participate in the agreement.  A correspondent submits wire copy
+   through the client-server interface: the story is accepted only once the
+   editor group has uniformly processed it, and the correspondent's reply
+   arrives exactly then — even though the first editor contacted crashes
+   mid-session and the desk fails over. *)
+
+let n = 5
+let reader_a = Net.Node_id.of_int 20
+let reader_b = Net.Node_id.of_int 21
+let correspondent = Net.Node_id.of_int 30
+
+let () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:77 in
+  (* Editor p2 crashes a few subruns in. *)
+  let fault_spec =
+    Net.Fault.with_crashes
+      [ (Net.Node_id.of_int 2, Sim.Ticks.of_int ((5 * Sim.Ticks.per_rtd) + 1)) ]
+      (Net.Fault.omission_every 300)
+  in
+  let fault = Net.Fault.create fault_spec ~rng:(Sim.Rng.split rng) in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let config = Urcgc.Config.make ~n () in
+  let cluster = Urcgc.Cluster.create ~config ~net () in
+
+  let diffusion =
+    Groups.Diffusion.attach_clients cluster ~net
+      ~client_ids:[ reader_a; reader_b ]
+  in
+  let service = Groups.Client_server.create cluster ~net () in
+  let desk =
+    Groups.Client_server.connect service ~client_id:correspondent
+      ~retry_subruns:3
+      ~server:(Net.Node_id.of_int 2) (* the editor that will crash *)
+      ()
+  in
+
+  (* Editors publish their own items; the correspondent files two stories. *)
+  Urcgc.Cluster.on_round cluster (fun ~round ->
+      (match round with
+      | 0 ->
+          Urcgc.Cluster.submit cluster (Net.Node_id.of_int 0)
+            { Groups.Client_server.client = Net.Node_id.of_int 0;
+              request_id = 0; body = "ed0: markets open mixed" }
+      | 2 ->
+          Urcgc.Cluster.submit cluster (Net.Node_id.of_int 1)
+            { Groups.Client_server.client = Net.Node_id.of_int 0;
+              request_id = 0; body = "ed1: weather front moving in" }
+      | _ -> ());
+      if round = 4 then
+        ignore (Groups.Client_server.submit desk "corr: quake felt offshore");
+      if round = 14 then
+        ignore (Groups.Client_server.submit desk "corr: aftershock update"));
+  Urcgc.Cluster.start cluster;
+  Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 30.0);
+
+  Format.printf "== reader terminals ==@.";
+  List.iter
+    (fun reader ->
+      let client = Groups.Diffusion.client diffusion reader in
+      Format.printf "reader %a:@." Net.Node_id.pp reader;
+      List.iter
+        (fun (mid, item) ->
+          Format.printf "   %a %s@." Causal.Mid.pp mid
+            item.Groups.Client_server.body)
+        (Groups.Diffusion.processed client))
+    [ reader_a; reader_b ];
+
+  Format.printf "@.== correspondent ==@.";
+  Format.printf "replies: %d, failovers: %d@."
+    (List.length (Groups.Client_server.replies desk))
+    (Groups.Client_server.retries desk);
+  List.iter
+    (fun (id, server) ->
+      Format.printf "   story #%d accepted, confirmed by editor %a@." id
+        Net.Node_id.pp server)
+    (Groups.Client_server.replies desk);
+  let counts =
+    List.map
+      (fun reader ->
+        Groups.Diffusion.processed_count (Groups.Diffusion.client diffusion reader))
+      [ reader_a; reader_b ]
+  in
+  Format.printf "@.readers saw the same number of items: %b@."
+    (match counts with [ a; b ] -> a = b | _ -> false)

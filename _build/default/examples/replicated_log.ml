@@ -1,0 +1,79 @@
+(* Replicated log through the SAP primitives (Section 5's service interface).
+
+   Run with:  dune exec examples/replicated_log.exe
+
+   Each of four replicas appends entries to a shared log through
+   urcgc.data.Rq and applies entries on urcgc.data.Ind.  Because indications
+   respect causal order and urcgc is uniformly atomic, replicas that apply
+   entries as they are indicated converge even while the network drops a
+   packet copy every ~70 on average — without any extra coordination in the
+   application. *)
+
+let n = 4
+
+type entry = { author : int; text : string }
+
+let () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:99 in
+  let fault =
+    Net.Fault.create (Net.Fault.omission_every 70) ~rng:(Sim.Rng.split rng)
+  in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let config = Urcgc.Config.make ~n () in
+  let cluster = Urcgc.Cluster.create ~config ~net () in
+
+  (* One SAP and one log per replica; entries are applied on indication. *)
+  let logs = Array.make n [] in
+  let saps =
+    List.map
+      (fun node ->
+        let sap = Urcgc.Sap.attach cluster node in
+        Urcgc.Sap.on_data_ind sap (fun ~mid:_ ~deps:_ entry ->
+            let i = Net.Node_id.to_int (Urcgc.Sap.id sap) in
+            logs.(i) <- entry :: logs.(i));
+        sap)
+      (Net.Node_id.group n)
+  in
+
+  (* Each replica appends a few entries; replica 3's last entry reacts to
+     what it has applied (its frontier is the causal label). *)
+  let confirmed = ref 0 in
+  let submit author text =
+    Urcgc.Sap.data_rq
+      (List.nth saps author)
+      { author; text }
+      ~on_conf:(fun _ -> incr confirmed)
+  in
+  Urcgc.Cluster.on_round cluster (fun ~round ->
+      match round with
+      | 0 ->
+          submit 0 "open account #17";
+          submit 1 "set limit 500"
+      | 2 -> submit 2 "deposit 100"
+      | 4 ->
+          submit 0 "withdraw 30";
+          submit 3 "audit: balance check"
+      | _ -> ());
+  Urcgc.Cluster.start cluster;
+  Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 12.0);
+
+  Format.printf "== replica logs (in application order) ==@.";
+  Array.iteri
+    (fun i log ->
+      Format.printf "replica %d:@." i;
+      List.iter
+        (fun { author; text } -> Format.printf "   [r%d] %s@." author text)
+        (List.rev log))
+    logs;
+  Format.printf "@.confirms received: %d of 5@." !confirmed;
+  let canonical = List.rev logs.(0) in
+  let converged =
+    Array.for_all
+      (fun log ->
+        (* Same multiset of entries; causal prefixes agree, concurrent
+           entries may interleave differently. *)
+        List.sort compare (List.rev log) = List.sort compare canonical)
+      logs
+  in
+  Format.printf "all replicas hold the same entry set: %b@." converged

@@ -1,0 +1,1 @@
+lib/causal/causal_msg.ml: Format List Mid Net

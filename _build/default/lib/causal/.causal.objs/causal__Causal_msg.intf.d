@@ -1,0 +1,1 @@
+lib/causal/causal_msg.mli: Format Mid

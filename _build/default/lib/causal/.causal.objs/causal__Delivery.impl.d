@@ -1,0 +1,1 @@
+lib/causal/delivery.ml: Array Causal_msg Format List Mid Net

@@ -1,0 +1,1 @@
+lib/causal/delivery.mli: Causal_msg Format Mid Net

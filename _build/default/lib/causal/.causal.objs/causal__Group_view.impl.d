@@ -1,0 +1,1 @@
+lib/causal/group_view.ml: Array Format Net

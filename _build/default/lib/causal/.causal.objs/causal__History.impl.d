@@ -1,0 +1,1 @@
+lib/causal/history.ml: Array Causal_msg Int Map Mid Net

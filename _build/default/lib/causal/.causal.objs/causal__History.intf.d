@@ -1,0 +1,1 @@
+lib/causal/history.mli: Causal_msg Mid Net

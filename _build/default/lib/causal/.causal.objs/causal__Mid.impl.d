@@ -1,0 +1,1 @@
+lib/causal/mid.ml: Format Int Map Net Set

@@ -1,0 +1,1 @@
+lib/causal/mid.mli: Format Map Net Set

@@ -1,0 +1,1 @@
+lib/causal/waiting_list.ml: Array Causal_msg Delivery List Mid Net Seq

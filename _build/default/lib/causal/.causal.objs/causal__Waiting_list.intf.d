@@ -1,0 +1,1 @@
+lib/causal/waiting_list.mli: Causal_msg Delivery Mid Net

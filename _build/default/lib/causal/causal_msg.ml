@@ -1,0 +1,46 @@
+type 'a t = {
+  mid : Mid.t;
+  deps : Mid.t list;
+  payload : 'a;
+  payload_size : int;
+}
+
+let header_size = Mid.encoded_size + 2 + 2
+
+let validate_deps mid deps =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        if Net.Node_id.equal (Mid.origin a) (Mid.origin b) then
+          invalid_arg "Causal_msg.make: two dependencies share an origin";
+        check rest
+  in
+  check deps;
+  List.iter
+    (fun dep ->
+      if
+        Net.Node_id.equal (Mid.origin dep) (Mid.origin mid)
+        && Mid.seq dep >= Mid.seq mid
+      then invalid_arg "Causal_msg.make: dependency on self or a later message")
+    deps
+
+let make ~mid ~deps ~payload_size payload =
+  if payload_size < 0 then invalid_arg "Causal_msg.make: negative payload size";
+  let deps = List.sort_uniq Mid.compare deps in
+  validate_deps mid deps;
+  { mid; deps; payload; payload_size }
+
+let encoded_size t =
+  header_size + (Mid.encoded_size * List.length t.deps) + t.payload_size
+
+let depends_on t m =
+  List.exists (Mid.equal m) t.deps
+  || (Net.Node_id.equal (Mid.origin t.mid) (Mid.origin m)
+     && Mid.seq m < Mid.seq t.mid)
+
+let pp ppf t =
+  Format.fprintf ppf "%a<-[%a]" Mid.pp t.mid
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Mid.pp)
+    t.deps

@@ -1,0 +1,33 @@
+(** A user message together with its causal labelling.
+
+    Besides the content, a message carries its [mid] and the list of the
+    mids which it causally depends on (Section 3).  Under the intermediate
+    interpretation of Definition 3.1 used throughout the paper, each process
+    roots a single sequence, so a message carries at most one dependency per
+    origin and the dependency on the sender's own previous message is implied
+    by the sequence number rather than listed. *)
+
+type 'a t = {
+  mid : Mid.t;
+  deps : Mid.t list;  (** explicit causal dependencies, at most one per origin *)
+  payload : 'a;
+  payload_size : int;  (** bytes of user data carried *)
+}
+
+val make : mid:Mid.t -> deps:Mid.t list -> payload_size:int -> 'a -> 'a t
+(** Normalizes [deps] (sorted, deduplicated).  Raises [Invalid_argument] if
+    [payload_size < 0], if two dependencies share an origin, or if a
+    dependency names the message itself or a later message of its origin
+    (which would break the acyclic property of Definition 3.1). *)
+
+val header_size : int
+(** Fixed header bytes: mid + dependency count + payload length. *)
+
+val encoded_size : 'a t -> int
+(** [header_size + 8 * |deps| + payload_size]. *)
+
+val depends_on : 'a t -> Mid.t -> bool
+(** Direct dependency: [m] is listed in [deps], or is an earlier message of
+    the same origin (implicit chain). *)
+
+val pp : Format.formatter -> 'a t -> unit

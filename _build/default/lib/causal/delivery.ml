@@ -1,0 +1,47 @@
+type t = { last : int array }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Delivery.create: n must be positive";
+  { last = Array.make n 0 }
+
+let n t = Array.length t.last
+
+let last_processed t origin = t.last.(Net.Node_id.to_int origin)
+
+let vector t = Array.copy t.last
+
+let processed t mid = Mid.seq mid <= last_processed t (Mid.origin mid)
+
+let missing t (msg : _ Causal_msg.t) =
+  let mid = msg.mid in
+  let origin = Mid.origin mid in
+  let chain_gap =
+    let next = last_processed t origin + 1 in
+    if Mid.seq mid > next then [ Mid.make ~origin ~seq:next ] else []
+  in
+  let unprocessed_deps = List.filter (fun dep -> not (processed t dep)) msg.deps in
+  chain_gap @ unprocessed_deps
+
+let processable t msg =
+  let mid = msg.Causal_msg.mid in
+  Mid.seq mid = last_processed t (Mid.origin mid) + 1
+  && List.for_all (processed t) msg.Causal_msg.deps
+
+let mark t mid =
+  let i = Net.Node_id.to_int (Mid.origin mid) in
+  if Mid.seq mid <> t.last.(i) + 1 then
+    invalid_arg "Delivery.mark: out-of-order processing";
+  t.last.(i) <- Mid.seq mid
+
+let force_skip_to t ~origin ~seq =
+  let i = Net.Node_id.to_int origin in
+  if seq > t.last.(i) then t.last.(i) <- seq
+
+let count t = Array.fold_left ( + ) 0 t.last
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_seq t.last)

@@ -1,0 +1,47 @@
+(** Tracker of processed messages: the paper's [last_processed] vector.
+
+    Under the intermediate interpretation of causality each origin's messages
+    form a chain, so what a process has processed of origin [j] is always a
+    prefix [1 .. last_processed.(j)].  A message is processable exactly when
+    it is the next of its origin's chain and all its explicit dependencies
+    have been processed (Section 4: "a process q may process a received
+    message msg only if it already processed all the messages that causally
+    precede it"). *)
+
+type t
+
+val create : n:int -> t
+(** All-zero vector: nothing processed. *)
+
+val n : t -> int
+
+val last_processed : t -> Net.Node_id.t -> int
+
+val vector : t -> int array
+(** A copy of the whole [last_processed] vector (index = origin). *)
+
+val processed : t -> Mid.t -> bool
+
+val processable : t -> 'a Causal_msg.t -> bool
+(** True iff [msg.mid.seq = last_processed(origin) + 1] and every dependency
+    is processed. *)
+
+val missing : t -> 'a Causal_msg.t -> Mid.t list
+(** The causal predecessors still unprocessed: the next-in-chain message of
+    the origin if there is a gap, plus every unprocessed explicit
+    dependency. Empty iff [processable]. *)
+
+val mark : t -> Mid.t -> unit
+(** Records processing.  Raises [Invalid_argument] if the mid is not the next
+    of its origin's chain (out-of-order processing would violate Uniform
+    Ordering). *)
+
+val force_skip_to : t -> origin:Net.Node_id.t -> seq:int -> unit
+(** Advances origin's chain pointer without processing, used when the group
+    agrees to destroy an orphaned sequence suffix and restart from a later
+    point.  No-op if already past [seq]. *)
+
+val count : t -> int
+(** Total messages processed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type t = { alive : bool array }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Group_view.create: n must be positive";
+  { alive = Array.make n true }
+
+let n t = Array.length t.alive
+
+let alive t node = t.alive.(Net.Node_id.to_int node)
+
+let remove t node = t.alive.(Net.Node_id.to_int node) <- false
+
+let members t =
+  let ids = ref [] in
+  for i = Array.length t.alive - 1 downto 0 do
+    if t.alive.(i) then ids := Net.Node_id.of_int i :: !ids
+  done;
+  !ids
+
+let cardinal t =
+  Array.fold_left (fun acc alive -> if alive then acc + 1 else acc) 0 t.alive
+
+let alive_array t = Array.copy t.alive
+
+let set_alive_array t states =
+  if Array.length states <> Array.length t.alive then
+    invalid_arg "Group_view.set_alive_array: dimension mismatch";
+  Array.iteri (fun i alive -> if not alive then t.alive.(i) <- false) states
+
+let copy t = { alive = Array.copy t.alive }
+
+let equal a b = a.alive = b.alive
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Net.Node_id.pp)
+    (members t)

@@ -1,0 +1,39 @@
+(** Local group view (Section 4, assumption 4).
+
+    "A local group view describes the knowledge that each process has
+    acquired about the whole system of processes."  The urcgc algorithm
+    guarantees that all active processes converge on the same view; views
+    only ever shrink (crashed processes are removed, recovery of crashed
+    processes is out of scope for the paper). *)
+
+type t
+
+val create : n:int -> t
+(** All [n] processes initially alive. *)
+
+val n : t -> int
+(** Size of the initial group (vector dimension), not the live count. *)
+
+val alive : t -> Net.Node_id.t -> bool
+
+val remove : t -> Net.Node_id.t -> unit
+(** Idempotent. *)
+
+val members : t -> Net.Node_id.t list
+(** Alive processes, in id order. *)
+
+val cardinal : t -> int
+(** Number of alive processes. *)
+
+val alive_array : t -> bool array
+(** Copy, indexed by node id. *)
+
+val set_alive_array : t -> bool array -> unit
+(** Adopts the [process_state] vector of a decision.  Only removals are
+    applied: a view never resurrects a process. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+module Int_map = Map.Make (Int)
+
+type 'a t = { entries : 'a Causal_msg.t Int_map.t array; mutable total : int }
+
+let create ~n =
+  if n <= 0 then invalid_arg "History.create: n must be positive";
+  { entries = Array.make n Int_map.empty; total = 0 }
+
+let index mid = Net.Node_id.to_int (Mid.origin mid)
+
+let mem t mid = Int_map.mem (Mid.seq mid) t.entries.(index mid)
+
+let store t msg =
+  let mid = msg.Causal_msg.mid in
+  if not (mem t mid) then begin
+    let i = index mid in
+    t.entries.(i) <- Int_map.add (Mid.seq mid) msg t.entries.(i);
+    t.total <- t.total + 1
+  end
+
+let find t mid = Int_map.find_opt (Mid.seq mid) t.entries.(index mid)
+
+let range t ~origin ~lo ~hi =
+  let entry = t.entries.(Net.Node_id.to_int origin) in
+  let rec collect seq acc =
+    if seq < lo then acc
+    else
+      let acc =
+        match Int_map.find_opt seq entry with
+        | Some msg -> msg :: acc
+        | None -> acc
+      in
+      collect (seq - 1) acc
+  in
+  collect hi []
+
+let purge_upto t ~origin ~seq =
+  let i = Net.Node_id.to_int origin in
+  let below, at, above = Int_map.split seq t.entries.(i) in
+  let keep = match at with None -> above | Some _ -> above in
+  let removed = Int_map.cardinal below + if at = None then 0 else 1 in
+  t.entries.(i) <- keep;
+  t.total <- t.total - removed;
+  removed
+
+let length t = t.total
+
+let entry_length t origin =
+  Int_map.cardinal t.entries.(Net.Node_id.to_int origin)
+
+let max_seq t ~origin =
+  match Int_map.max_binding_opt t.entries.(Net.Node_id.to_int origin) with
+  | None -> 0
+  | Some (seq, _) -> seq
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc entry -> Int_map.fold (fun _ msg acc -> f acc msg) entry acc)
+    init t.entries

@@ -1,0 +1,1 @@
+lib/cbcast/cb_codec.ml: Array Bytes Cb_wire List Net Printf Vclock

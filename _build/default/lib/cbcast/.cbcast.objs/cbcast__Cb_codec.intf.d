@@ -1,0 +1,1 @@
+lib/cbcast/cb_codec.mli: Cb_wire Net

@@ -1,0 +1,1 @@
+lib/cbcast/cb_wire.ml: Array Format List Net Vclock

@@ -1,0 +1,1 @@
+lib/cbcast/cb_wire.mli: Format Net Vclock

@@ -1,0 +1,1 @@
+lib/cbcast/cluster.ml: Array Cb_wire Format List Member Net Sim Vclock

@@ -1,0 +1,1 @@
+lib/cbcast/cluster.mli: Cb_wire Member Net Sim

@@ -1,0 +1,1 @@
+lib/cbcast/member.ml: Array Cb_wire Format Hashtbl List Net Option Queue String Vclock

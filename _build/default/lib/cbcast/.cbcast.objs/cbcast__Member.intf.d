@@ -1,0 +1,1 @@
+lib/cbcast/member.mli: Cb_wire Net Vclock

@@ -1,0 +1,1 @@
+lib/cbcast/vclock.ml: Array Format Net

@@ -1,0 +1,1 @@
+lib/cbcast/vclock.mli: Format Net

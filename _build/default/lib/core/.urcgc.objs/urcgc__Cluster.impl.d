@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Causal Config Format List Medium Member Net Sim Wire

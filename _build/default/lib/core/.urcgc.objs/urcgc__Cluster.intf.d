@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Causal Config Medium Member Net Sim Wire

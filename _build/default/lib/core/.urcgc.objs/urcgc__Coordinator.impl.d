@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Array Causal Config Decision Fun List Net Wire

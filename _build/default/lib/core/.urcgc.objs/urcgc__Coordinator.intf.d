@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Config Decision Net Wire

@@ -1,0 +1,1 @@
+lib/core/medium.ml: Array Decision List Net Printf Sim Wire Wire_codec

@@ -1,0 +1,1 @@
+lib/core/medium.mli: Net Sim Wire

@@ -1,0 +1,1 @@
+lib/core/member.ml: Array Causal Config Coordinator Decision Format List Net Option Queue Wire

@@ -1,0 +1,1 @@
+lib/core/member.mli: Causal Config Decision Net Wire

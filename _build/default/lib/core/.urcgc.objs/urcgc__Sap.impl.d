@@ -1,0 +1,1 @@
+lib/core/sap.ml: Causal Cluster List Net Queue

@@ -1,0 +1,1 @@
+lib/core/sap.mli: Causal Cluster Net

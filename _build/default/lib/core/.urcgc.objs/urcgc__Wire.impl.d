@@ -1,0 +1,1 @@
+lib/core/wire.ml: Array Causal Decision Format List Net

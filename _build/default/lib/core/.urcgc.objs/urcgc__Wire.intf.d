@@ -1,0 +1,1 @@
+lib/core/wire.mli: Causal Decision Format Net

@@ -1,0 +1,1 @@
+lib/core/wire_codec.ml: Array Bytes Causal Decision List Net Printf Wire

@@ -1,0 +1,1 @@
+lib/core/wire_codec.mli: Decision Net Wire

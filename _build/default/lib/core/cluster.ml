@@ -1,0 +1,213 @@
+type 'a delivery = {
+  node : Net.Node_id.t;
+  msg : 'a Causal.Causal_msg.t;
+  at : Sim.Ticks.t;
+}
+
+type 'a generation = {
+  mid : Causal.Mid.t;
+  payload : 'a;
+  sent_at : Sim.Ticks.t;
+}
+
+type departure = {
+  who : Net.Node_id.t;
+  why : Member.reason;
+  when_ : Sim.Ticks.t;
+}
+
+type 'a t = {
+  config : Config.t;
+  medium : 'a Medium.t;
+  tracer : Sim.Tracer.t;
+  members : 'a Member.t array;
+  mutable round : int;
+  mutable started : bool;
+  mutable round_callbacks : (round:int -> unit) list;
+  mutable extra_broadcast_targets : Net.Node_id.t list;
+  mutable delivery_callbacks : ('a delivery -> unit) list;
+  mutable confirm_callbacks : (Net.Node_id.t -> Causal.Mid.t -> unit) list;
+  mutable deliveries : 'a delivery list;  (* newest first *)
+  mutable generations : 'a generation list;
+  mutable departures : departure list;
+  mutable discards : (Net.Node_id.t * Causal.Mid.t list * Sim.Ticks.t) list;
+}
+
+let engine t = Medium.engine t.medium
+let now t = Sim.Engine.now (engine t)
+
+let trace t source fmt =
+  Sim.Tracer.emitf t.tracer ~time:(now t) ~source fmt
+
+let execute t member action =
+  let self = Member.id member in
+  match action with
+  | Member.Broadcast body ->
+      let dsts =
+        List.filter
+          (fun node -> not (Net.Node_id.equal node self))
+          (Causal.Group_view.members (Member.view member))
+        @ t.extra_broadcast_targets
+      in
+      (match body with
+      | Wire.Data msg ->
+          t.generations <-
+            { mid = msg.Causal.Causal_msg.mid; payload = msg.payload; sent_at = now t }
+            :: t.generations
+      | Wire.Request _ | Wire.Decision_pdu _ | Wire.Recover_req _
+      | Wire.Recover_reply _ ->
+          ());
+      Medium.multicast t.medium ~src:self ~dsts body
+  | Member.Send (dst, body) -> Medium.send t.medium ~src:self ~dst body
+  | Member.Processed msg ->
+      let record = { node = self; msg; at = now t } in
+      t.deliveries <- record :: t.deliveries;
+      List.iter (fun callback -> callback record) (List.rev t.delivery_callbacks)
+  | Member.Confirmed mid ->
+      List.iter
+        (fun callback -> callback self mid)
+        (List.rev t.confirm_callbacks);
+      trace t (Format.asprintf "%a" Net.Node_id.pp self) "confirmed %a"
+        Causal.Mid.pp mid
+  | Member.Discarded mids ->
+      t.discards <- (self, mids, now t) :: t.discards;
+      trace t
+        (Format.asprintf "%a" Net.Node_id.pp self)
+        "discarded %d orphaned messages" (List.length mids)
+  | Member.Left why ->
+      t.departures <- { who = self; why; when_ = now t } :: t.departures;
+      trace t
+        (Format.asprintf "%a" Net.Node_id.pp self)
+        "left the group: %s"
+        (Member.reason_to_string why)
+
+let execute_all t member actions = List.iter (execute t member) actions
+
+let crashed t node =
+  Net.Fault.crashed (Medium.fault t.medium) ~now:(now t) node
+
+let on_body t member body =
+  if not (crashed t (Member.id member)) then
+    execute_all t member (Member.handle member body)
+
+let create_with_medium ?(tracer = Sim.Tracer.null) ~config ~medium () =
+  let members =
+    Array.init config.Config.n (fun i ->
+        Member.create config (Net.Node_id.of_int i))
+  in
+  let t =
+    {
+      config;
+      medium;
+      tracer;
+      members;
+      round = 0;
+      started = false;
+      round_callbacks = [];
+      extra_broadcast_targets = [];
+      delivery_callbacks = [];
+      confirm_callbacks = [];
+      deliveries = [];
+      generations = [];
+      departures = [];
+      discards = [];
+    }
+  in
+  Array.iter
+    (fun member ->
+      Medium.attach medium (Member.id member) (on_body t member))
+    members;
+  t
+
+let create ?tracer ~config ~net () =
+  create_with_medium ?tracer ~config ~medium:(Medium.of_netsim net) ()
+
+let medium t = t.medium
+
+let run_round t =
+  let round = t.round in
+  let subrun = round / 2 in
+  Array.iter
+    (fun member ->
+      if not (crashed t (Member.id member)) then
+        let actions =
+          if round mod 2 = 0 then Member.begin_subrun member ~subrun
+          else Member.mid_subrun member ~subrun
+        in
+        execute_all t member actions)
+    t.members;
+  t.round <- round + 1;
+  List.iter (fun callback -> callback ~round) (List.rev t.round_callbacks)
+
+let start t =
+  if t.started then invalid_arg "Cluster.start: already started";
+  t.started <- true;
+  let engine = engine t in
+  let rec tick () =
+    run_round t;
+    ignore
+      (Sim.Engine.schedule_after engine ~delay:Sim.Ticks.round
+         tick)
+  in
+  ignore (Sim.Engine.schedule_after engine ~delay:Sim.Ticks.zero tick)
+
+let config t = t.config
+let member t node = t.members.(Net.Node_id.to_int node)
+let members t = Array.to_list t.members
+
+let submit ?deps ?size t node payload =
+  Member.submit ?deps ?size (member t node) payload
+
+let round t = t.round
+let subrun t = t.round / 2
+
+let on_round t callback = t.round_callbacks <- callback :: t.round_callbacks
+
+let on_delivery t callback =
+  t.delivery_callbacks <- callback :: t.delivery_callbacks
+
+let on_confirm t callback =
+  t.confirm_callbacks <- callback :: t.confirm_callbacks
+
+let add_broadcast_targets t targets =
+  t.extra_broadcast_targets <- t.extra_broadcast_targets @ targets
+
+let deliveries t = List.rev t.deliveries
+let generations t = List.rev t.generations
+let departures t = List.rev t.departures
+let discards t = List.rev t.discards
+
+let active_members t =
+  Array.to_list t.members
+  |> List.filter_map (fun member ->
+         let node = Member.id member in
+         if Member.active member && not (crashed t node) then Some node
+         else None)
+
+let quiescent t =
+  let actives =
+    Array.to_list t.members
+    |> List.filter (fun member ->
+           Member.active member && not (crashed t (Member.id member)))
+  in
+  match actives with
+  | [] -> true
+  | first :: rest ->
+      let vector member =
+        List.init t.config.Config.n (fun j ->
+            Member.last_processed member (Net.Node_id.of_int j))
+      in
+      let idle member =
+        Member.sap_backlog member = 0
+        && Member.waiting_length member = 0
+        && not (Member.flow_blocked member)
+      in
+      List.for_all idle actives
+      && List.for_all (fun member -> vector member = vector first) rest
+      (* A process declared crashed but not yet aware of it is a zombie: the
+         group no longer addresses it, and it will only leave after its
+         decision-silence timeout.  The run is not settled until then. *)
+      && List.for_all
+           (fun member ->
+             Causal.Group_view.equal (Member.view member) (Member.view first))
+           rest

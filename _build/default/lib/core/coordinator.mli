@@ -1,0 +1,39 @@
+(** Pure decision making of the rotating coordinator (Section 4).
+
+    Given the previous decision and the requests received during a subrun,
+    [compute] produces the new decision.  Keeping this a pure function makes
+    the agreement logic unit- and property-testable without any network. *)
+
+val rotation : alive:bool array -> subrun:int -> Net.Node_id.t
+(** The coordinator of a subrun: node [subrun mod n], advanced past processes
+    not alive in the given composition.  Every process applies this rule to
+    its own latest decision, so processes with the same decision pick the
+    same coordinator.  Raises [Invalid_argument] if no process is alive. *)
+
+val compute :
+  config:Config.t ->
+  subrun:int ->
+  coordinator:Net.Node_id.t ->
+  prev:Decision.t ->
+  requests:Wire.request list ->
+  Decision.t
+(** Decision of [coordinator] for [subrun].
+
+    - [prev] must be the most recent decision known to the coordinator,
+      i.e. the maximum over its own and the ones piggybacked on [requests];
+      use {!merge_prev} to obtain it.
+    - [attempts]: reset to 0 for senders, incremented for silent alive
+      processes; a process reaching K attempts is declared crashed.
+    - stability: per-origin minima of [last_processed] are accumulated over
+      the processes heard since the last full-group decision; when that set
+      covers every alive process the cleaning point [stable] advances and
+      the cycle restarts.
+    - [max_processed]/[most_updated]: per-origin maximum over contributors,
+      kept monotone while the holder stays alive; recomputed from the current
+      contributors when the holder is declared crashed.
+    - [min_waiting]: per-origin minimum of the oldest waiting mids reported
+      in this cycle (accumulated like stability so that full-group decisions
+      reflect every active process). *)
+
+val merge_prev : Decision.t -> Wire.request list -> Decision.t
+(** Most recent decision among [prev] and the piggybacked ones. *)

@@ -1,0 +1,70 @@
+type t = {
+  subrun : int;
+  coordinator : Net.Node_id.t;
+  full_group : bool;
+  stable : int array;
+  max_processed : int array;
+  most_updated : Net.Node_id.t array;
+  min_waiting : int array;
+  attempts : int array;
+  alive : bool array;
+  heard : bool array;
+  acc_stable : int array;
+  acc_min_waiting : int array;
+}
+
+let initial ~n =
+  if n <= 0 then invalid_arg "Decision.initial: n must be positive";
+  {
+    subrun = -1;
+    coordinator = Net.Node_id.of_int 0;
+    full_group = false;
+    stable = Array.make n 0;
+    max_processed = Array.make n 0;
+    most_updated = Array.init n Net.Node_id.of_int;
+    min_waiting = Array.make n 0;
+    attempts = Array.make n 0;
+    alive = Array.make n true;
+    heard = Array.make n false;
+    acc_stable = Array.make n max_int;
+    acc_min_waiting = Array.make n 0;
+  }
+
+let newer t ~than = t.subrun > than.subrun
+
+let alive_members t =
+  let ids = ref [] in
+  for i = Array.length t.alive - 1 downto 0 do
+    if t.alive.(i) then ids := Net.Node_id.of_int i :: !ids
+  done;
+  !ids
+
+let encoded_size t =
+  let n = Array.length t.stable in
+  let bitmap = (n + 7) / 8 in
+  (* subrun + coordinator + flags *)
+  4 + 4 + 1
+  (* stable, max_processed, most_updated, min_waiting, acc_stable,
+     acc_min_waiting: 4B per origin each *)
+  + (4 * n * 6)
+  (* attempts: 2B each *)
+  + (2 * n)
+  (* alive + heard bitmaps *)
+  + (2 * bitmap)
+
+let pp ppf t =
+  let pp_vec ppf v =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         Format.pp_print_int)
+      (Array.to_seq v)
+  in
+  Format.fprintf ppf
+    "@[<v 2>decision{subrun=%d; coord=%a; full=%b;@ stable=%a;@ max=%a;@ \
+     min_wait=%a;@ attempts=%a;@ alive=%a}@]"
+    t.subrun Net.Node_id.pp t.coordinator t.full_group pp_vec t.stable pp_vec
+    t.max_processed pp_vec t.min_waiting pp_vec t.attempts
+    (fun ppf alive ->
+      Array.iter (fun a -> Format.pp_print_char ppf (if a then '1' else '0')) alive)
+    t.alive

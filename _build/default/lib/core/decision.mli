@@ -1,0 +1,53 @@
+(** The coordinator's decision (Figure 2).
+
+    A decision is the coordinator's picture of the global state, broadcast at
+    the end of each subrun and piggybacked by every process on its next
+    request so that coordinator [c+1] is guaranteed to know the decision of
+    coordinator [c] (resilience degree [(n-1)/2]).
+
+    All per-origin vectors are indexed by node id.  Sequence number 0 means
+    "nothing"; [min_waiting.(j) = 0] means no process reported a waiting
+    message of origin [j]. *)
+
+type t = {
+  subrun : int;  (** subrun this decision was computed in *)
+  coordinator : Net.Node_id.t;
+  full_group : bool;
+      (** the stability cycle closed: every process alive in this decision
+          contributed its state since the previous full decision *)
+  stable : int array;
+      (** per-origin history cleaning point — the last seq processed by
+          every active process; only advanced by full-group decisions *)
+  max_processed : int array;
+      (** per-origin seq processed by the most updated active process *)
+  most_updated : Net.Node_id.t array;
+      (** who holds [max_processed] for each origin — recovery target *)
+  min_waiting : int array;
+      (** per-origin oldest waiting seq reported by anyone (0 = none) *)
+  attempts : int array;
+      (** consecutive subruns each process failed to contact a coordinator *)
+  alive : bool array;  (** the decided group composition ([process_state]) *)
+  heard : bool array;
+      (** processes that contributed since the last full-group decision —
+          the accumulator that makes stability decisions possible even when
+          each individual subrun only hears from a partial set *)
+  acc_stable : int array;
+      (** accumulated per-origin minimum over the processes in [heard] *)
+  acc_min_waiting : int array;
+      (** accumulator behind [min_waiting], over the same cycle as [heard] *)
+}
+
+val initial : n:int -> t
+(** The decision every process starts with: subrun -1, everyone alive,
+    nothing stable, coordinator [p0] by convention. *)
+
+val newer : t -> than:t -> bool
+(** Strictly more recent (higher subrun). *)
+
+val alive_members : t -> Net.Node_id.t list
+
+val encoded_size : t -> int
+(** Wire size in bytes, computed from the field layout (4-byte sequence
+    numbers and ids, 2-byte attempts, bit-packed booleans). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type 'a t = {
+  engine : Sim.Engine.t;
+  fault : Net.Fault.t;
+  traffic : unit -> Net.Traffic.t;
+  attach : Net.Node_id.t -> ('a Wire.body -> unit) -> unit;
+  send : src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit;
+  multicast :
+    src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit;
+}
+
+type h_policy = All | At_least of int
+
+let of_netsim net =
+  {
+    engine = Net.Netsim.engine net;
+    fault = Net.Netsim.fault net;
+    traffic = (fun () -> Net.Netsim.traffic net);
+    attach =
+      (fun node handler ->
+        Net.Netsim.attach net node (fun packet ->
+            handler packet.Net.Netsim.payload));
+    send =
+      (fun ~src ~dst body ->
+        Net.Netsim.send net ~src ~dst ~kind:(Wire.kind body)
+          ~size:(Wire.body_size body) body);
+    multicast =
+      (fun ~src ~dsts body ->
+        Net.Netsim.multicast net ~src ~dsts ~kind:(Wire.kind body)
+          ~size:(Wire.body_size body) body);
+  }
+
+let of_transport ~h transport =
+  let request ~src ~dsts body =
+    match dsts with
+    | [] -> ()
+    | _ ->
+        let count =
+          match h with
+          | All -> List.length dsts
+          | At_least h -> max 1 (min h (List.length dsts))
+        in
+        Net.Transport.request transport ~src ~dsts ~h:count
+          ~kind:(Wire.kind body) ~size:(Wire.body_size body)
+          ~on_confirm:(fun ~acked:_ -> ())
+          body
+  in
+  {
+    engine = Net.Transport.engine transport;
+    fault = Net.Transport.fault transport;
+    traffic = (fun () -> Net.Transport.traffic transport);
+    attach =
+      (fun node handler ->
+        Net.Transport.attach transport node (fun ~src:_ body -> handler body));
+    send = (fun ~src ~dst body -> request ~src ~dsts:[ dst ] body);
+    multicast = (fun ~src ~dsts body -> request ~src ~dsts body);
+  }
+
+let engine t = t.engine
+let fault t = t.fault
+let traffic t = t.traffic ()
+let attach t node handler = t.attach node handler
+let send t ~src ~dst body = t.send ~src ~dst body
+let multicast t ~src ~dsts body = t.multicast ~src ~dsts body
+
+let with_codec codec inner =
+  let through body =
+    let raw = Wire_codec.encode_body codec body in
+    (* The group size is recoverable from the PDU itself only for some
+       variants; thread it from the vectors we can see. *)
+    let n =
+      match body with
+      | Wire.Request r -> Array.length r.last_processed
+      | Wire.Decision_pdu d -> Array.length d.Decision.stable
+      | Wire.Data _ | Wire.Recover_req _ | Wire.Recover_reply _ -> -1
+    in
+    let n =
+      if n > 0 then n
+      else
+        (* Data/recovery PDUs carry no vectors; any positive n decodes them. *)
+        1
+    in
+    match Wire_codec.decode_body codec ~n raw with
+    | Ok decoded -> decoded
+    | Error reason ->
+        invalid_arg
+          (Printf.sprintf "Medium.with_codec: PDU does not round-trip: %s"
+             reason)
+  in
+  {
+    inner with
+    send = (fun ~src ~dst body -> inner.send ~src ~dst (through body));
+    multicast =
+      (fun ~src ~dsts body -> inner.multicast ~src ~dsts (through body));
+  }

@@ -1,0 +1,45 @@
+(** Where urcgc PDUs travel: directly over the datagram subnetwork, or over
+    the transport entity of Section 5.
+
+    The paper's protocol architecture leaves this choice open: with [h = 1]
+    "the urcgc-entity [is mounted] directly on the top of a datagram
+    subnetwork, thus avoiding the use of transport entities" — losses are
+    then the protocol's to repair via recovery from history.  With a
+    transport underneath and high [h], subnetwork losses are covered by
+    transport retries instead, and "we only observe a different location of
+    the retransmission function and a reduced use of the recovery from
+    history".  Both configurations are measured in the ablation bench. *)
+
+type 'a t
+
+val of_netsim : 'a Wire.body Net.Netsim.t -> 'a t
+(** The paper's evaluated configuration (h = 1, no transport entity). *)
+
+type h_policy =
+  | All  (** retransmit until every destination acknowledged *)
+  | At_least of int  (** ... until [min h |dsts|] did *)
+
+val of_transport : h:h_policy -> 'a Wire.body Net.Transport.t -> 'a t
+(** Section 5's [t.data.Rq (m, h, v, d)] configuration.  Unicasts use
+    [h = 1] (one acknowledgement) — they still benefit from transport
+    retries. *)
+
+val engine : 'a t -> Sim.Engine.t
+val fault : 'a t -> Net.Fault.t
+
+val traffic : 'a t -> Net.Traffic.t
+(** For the transport mounting this includes retransmissions and acks. *)
+
+val attach : 'a t -> Net.Node_id.t -> ('a Wire.body -> unit) -> unit
+
+val send : 'a t -> src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit
+
+val multicast :
+  'a t -> src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit
+
+val with_codec : 'a Net.Bytebuf.codec -> 'a t -> 'a t
+(** A serialization boundary: every PDU is encoded to bytes with
+    {!Wire_codec} on send and decoded again before delivery, exactly as a
+    real deployment over sockets would.  Raises [Invalid_argument] at send
+    time if a PDU does not round-trip — protocol runs over this medium
+    exercise the codecs under live traffic. *)

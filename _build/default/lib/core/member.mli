@@ -1,0 +1,68 @@
+(** Per-process urcgc protocol entity.
+
+    A member is a deterministic state machine: the two round hooks
+    ({!begin_subrun}, {!mid_subrun}) and the PDU handler ({!handle}) each
+    return the list of {!action}s the process takes, and the embedding
+    ({!Node}) turns those into network sends and service indications.  This
+    keeps the whole protocol logic testable without a simulator.
+
+    Timeline of subrun [s] (one rtd):
+    - round [2s] ({!begin_subrun}): send the request (state vectors + last
+      received decision) to the coordinator of [s]; possibly broadcast one
+      new data message; send recovery requests for known gaps.
+    - round [2s+1] ({!mid_subrun}): the coordinator computes and broadcasts
+      its decision; possibly broadcast one new data message. *)
+
+type reason =
+  | Declared_crashed  (** saw a decision with [alive.(self) = false]: suicide *)
+  | Decision_silence  (** no decision received for [silence_limit] subruns *)
+  | Recovery_exhausted  (** R unsuccessful attempts to recover from history *)
+
+val reason_to_string : reason -> string
+
+type 'a action =
+  | Broadcast of 'a Wire.body
+      (** send to every other process alive in the local view *)
+  | Send of Net.Node_id.t * 'a Wire.body
+  | Processed of 'a Causal.Causal_msg.t
+      (** the message was processed here — [urcgc.data.Ind] *)
+  | Confirmed of Causal.Mid.t
+      (** own message locally processed — [urcgc.data.Conf] *)
+  | Discarded of Causal.Mid.t list
+      (** orphaned waiting messages destroyed by group agreement *)
+  | Left of reason  (** the process left the group and stops participating *)
+
+type 'a t
+
+val create : Config.t -> Net.Node_id.t -> 'a t
+
+val id : 'a t -> Net.Node_id.t
+val config : 'a t -> Config.t
+
+val active : 'a t -> bool
+(** False once the process has left the group. *)
+
+val left_reason : 'a t -> reason option
+
+val view : 'a t -> Causal.Group_view.t
+val latest_decision : 'a t -> Decision.t
+val history_length : 'a t -> int
+val waiting_length : 'a t -> int
+val processed_count : 'a t -> int
+val last_processed : 'a t -> Net.Node_id.t -> int
+val flow_blocked : 'a t -> bool
+val sap_backlog : 'a t -> int
+
+val submit : ?deps:Causal.Mid.t list -> ?size:int -> 'a t -> 'a -> unit
+(** [urcgc.data.Rq]: queues a payload.  One queued message is labelled and
+    broadcast per round (the paper's maximum service rate), subject to flow
+    control.  [deps] are the explicit causal dependencies; they default to
+    the sender's current frontier (the last processed message of every other
+    origin), the densest labelling allowed by Definition 3.1's intermediate
+    interpretation.  [size] defaults to the configured payload size. *)
+
+val begin_subrun : 'a t -> subrun:int -> 'a action list
+
+val mid_subrun : 'a t -> subrun:int -> 'a action list
+
+val handle : 'a t -> 'a Wire.body -> 'a action list

@@ -1,0 +1,36 @@
+type 'a t = {
+  cluster : 'a Cluster.t;
+  node : Net.Node_id.t;
+  (* Confirm callbacks are consumed in submission order: mids are assigned
+     in that order, so the head of the queue always matches the next
+     Confirmed event of this process. *)
+  awaiting_conf : (Causal.Mid.t -> unit) Queue.t;
+  mutable ind_callbacks :
+    (mid:Causal.Mid.t -> deps:Causal.Mid.t list -> 'a -> unit) list;
+}
+
+let attach cluster node =
+  let t =
+    { cluster; node; awaiting_conf = Queue.create (); ind_callbacks = [] }
+  in
+  Cluster.on_confirm cluster (fun who mid ->
+      if Net.Node_id.equal who node && not (Queue.is_empty t.awaiting_conf) then
+        (Queue.pop t.awaiting_conf) mid);
+  Cluster.on_delivery cluster (fun { Cluster.node = at; msg; _ } ->
+      if Net.Node_id.equal at node then
+        List.iter
+          (fun callback ->
+            callback ~mid:msg.Causal.Causal_msg.mid
+              ~deps:msg.Causal.Causal_msg.deps msg.Causal.Causal_msg.payload)
+          (List.rev t.ind_callbacks));
+  t
+
+let id t = t.node
+
+let data_rq ?deps ?size ?(on_conf = fun _ -> ()) t payload =
+  Queue.push on_conf t.awaiting_conf;
+  Cluster.submit ?deps ?size t.cluster t.node payload
+
+let on_data_ind t callback = t.ind_callbacks <- callback :: t.ind_callbacks
+
+let pending_confirms t = Queue.length t.awaiting_conf

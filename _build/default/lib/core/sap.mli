@@ -1,0 +1,37 @@
+(** The urcgc Service Access Point (Section 5).
+
+    "The urcgc service is accessed through the user urcgc SAPs and is fully
+    described by the primitives urcgc.data.Rq(), urcgc.data.Conf(),
+    urcgc.data.Ind()."  A SAP wraps one process of a cluster with exactly
+    that interface: requests are queued (one is labelled and multicast per
+    round), the Confirm fires when the local entity has processed the
+    message — the paper's user entity blocks on it — and Indications fire
+    asynchronously as remote messages are processed here. *)
+
+type 'a t
+
+val attach : 'a Cluster.t -> Net.Node_id.t -> 'a t
+(** One SAP per process; attaching twice to the same process is allowed and
+    shares the underlying entity (the callbacks of both fire). *)
+
+val id : 'a t -> Net.Node_id.t
+
+val data_rq :
+  ?deps:Causal.Mid.t list ->
+  ?size:int ->
+  ?on_conf:(Causal.Mid.t -> unit) ->
+  'a t ->
+  'a ->
+  unit
+(** [urcgc.data.Rq].  [deps] defaults to the sender's causal frontier;
+    [on_conf] fires once, when the message has been labelled, broadcast and
+    locally processed.  "In absence of failures, the urcgc service
+    guarantees to process one message a round." *)
+
+val on_data_ind :
+  'a t -> (mid:Causal.Mid.t -> deps:Causal.Mid.t list -> 'a -> unit) -> unit
+(** [urcgc.data.Ind]: fires for every message processed at this process,
+    own messages included, in processing order. *)
+
+val pending_confirms : 'a t -> int
+(** Requests submitted and not yet confirmed. *)

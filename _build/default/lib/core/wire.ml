@@ -1,0 +1,62 @@
+type request = {
+  sender : Net.Node_id.t;
+  subrun : int;
+  last_processed : int array;
+  waiting : Causal.Mid.t option array;
+  prev_decision : Decision.t;
+}
+
+type recover_request = {
+  requester : Net.Node_id.t;
+  origin : Net.Node_id.t;
+  from_seq : int;
+  to_seq : int;
+}
+
+type 'a recover_reply = {
+  responder : Net.Node_id.t;
+  messages : 'a Causal.Causal_msg.t list;
+}
+
+type 'a body =
+  | Data of 'a Causal.Causal_msg.t
+  | Request of request
+  | Decision_pdu of Decision.t
+  | Recover_req of recover_request
+  | Recover_reply of 'a recover_reply
+
+let request_size r =
+  let n = Array.length r.last_processed in
+  (* tag+sender + subrun + last_processed (4B each) + waiting seqs (4B each,
+     origin implied by index) + piggybacked decision *)
+  4 + 4 + (4 * n) + (4 * n) + Decision.encoded_size r.prev_decision
+
+let body_size = function
+  | Data msg -> Causal.Causal_msg.encoded_size msg
+  | Request r -> request_size r
+  | Decision_pdu d -> 4 + Decision.encoded_size d
+  | Recover_req _ -> 4 + 4 + 4 + 4 + 4
+  | Recover_reply { messages; _ } ->
+      4
+      + 4
+      + List.fold_left
+          (fun acc msg -> acc + Causal.Causal_msg.encoded_size msg)
+          0 messages
+
+let kind = function
+  | Data _ -> Net.Traffic.Data
+  | Request _ | Decision_pdu _ -> Net.Traffic.Control
+  | Recover_req _ | Recover_reply _ -> Net.Traffic.Recovery
+
+let pp_body ppf = function
+  | Data msg -> Format.fprintf ppf "data %a" Causal.Causal_msg.pp msg
+  | Request r ->
+      Format.fprintf ppf "request from %a (subrun %d)" Net.Node_id.pp r.sender
+        r.subrun
+  | Decision_pdu d -> Format.fprintf ppf "decision subrun %d" d.Decision.subrun
+  | Recover_req { requester; origin; from_seq; to_seq } ->
+      Format.fprintf ppf "recover-req %a wants %a seq %d..%d" Net.Node_id.pp
+        requester Net.Node_id.pp origin from_seq to_seq
+  | Recover_reply { responder; messages } ->
+      Format.fprintf ppf "recover-reply from %a (%d msgs)" Net.Node_id.pp
+        responder (List.length messages)

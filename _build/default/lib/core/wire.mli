@@ -1,0 +1,46 @@
+(** Protocol data units exchanged by urcgc entities.
+
+    Sizes are computed from the field layout so that the network-load
+    measurements of Table 1 are byte-accurate.  The urcgc protocol requires
+    only a datagram service underneath; every PDU here fits the message-size
+    assumption of Section 5. *)
+
+type request = {
+  sender : Net.Node_id.t;
+  subrun : int;
+  last_processed : int array;
+      (** mid (seq) of the last processed message per origin *)
+  waiting : Causal.Mid.t option array;
+      (** oldest waiting mid per origin ([waiting_i]) *)
+  prev_decision : Decision.t;
+      (** the most recent decision the sender received — this piggyback is
+          what circulates decisions between rotating coordinators *)
+}
+
+type recover_request = {
+  requester : Net.Node_id.t;
+  origin : Net.Node_id.t;
+  from_seq : int;
+  to_seq : int;
+}
+
+type 'a recover_reply = {
+  responder : Net.Node_id.t;
+  messages : 'a Causal.Causal_msg.t list;
+}
+
+type 'a body =
+  | Data of 'a Causal.Causal_msg.t
+  | Request of request
+  | Decision_pdu of Decision.t
+  | Recover_req of recover_request
+  | Recover_reply of 'a recover_reply
+
+val request_size : request -> int
+val body_size : 'a body -> int
+
+val kind : 'a body -> Net.Traffic.kind
+(** Data PDUs are data traffic; requests and decisions are control traffic;
+    recovery PDUs are recovery traffic. *)
+
+val pp_body : Format.formatter -> 'a body -> unit

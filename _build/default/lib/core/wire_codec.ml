@@ -1,0 +1,267 @@
+module W = Net.Bytebuf.Writer
+module R = Net.Bytebuf.Reader
+
+let ( let* ) = Net.Bytebuf.( let* )
+
+type 'a payload = 'a Net.Bytebuf.codec = {
+  encode : 'a -> bytes;
+  decode : bytes -> ('a, string) result;
+}
+
+let string_payload = Net.Bytebuf.string_codec
+
+(* Body tags. *)
+let tag_data = 1
+let tag_request = 2
+let tag_decision = 3
+let tag_recover_req = 4
+let tag_recover_reply = 5
+
+(* The sentinel for accumulator entries still at [max_int]. *)
+let u32_sentinel = 0xFFFFFFFF
+
+(* -- mids ---------------------------------------------------------------- *)
+
+let write_mid w mid =
+  W.u32 w (Net.Node_id.to_int (Causal.Mid.origin mid));
+  W.u32 w (Causal.Mid.seq mid)
+
+let read_mid r =
+  let* origin = R.u32 r in
+  let* seq = R.u32 r in
+  if seq < 1 then Error "mid: sequence number must be >= 1"
+  else Ok (Causal.Mid.make ~origin:(Net.Node_id.of_int origin) ~seq)
+
+(* -- data messages --------------------------------------------------------
+
+   Layout (= Causal_msg.header_size + 8 |deps| + payload):
+     tag u8 | origin u24 | seq u32 | dep count u16 | payload length u16
+     deps (8 bytes each) | payload bytes *)
+
+let write_data payload w (msg : 'a Causal.Causal_msg.t) =
+  let body = payload.encode msg.payload in
+  if Bytes.length body <> msg.payload_size then
+    invalid_arg
+      (Printf.sprintf
+         "Wire_codec: declared payload_size %d but the payload encodes to %d \
+          bytes"
+         msg.payload_size (Bytes.length body));
+  W.u8 w tag_data;
+  W.u24 w (Net.Node_id.to_int (Causal.Mid.origin msg.mid));
+  W.u32 w (Causal.Mid.seq msg.mid);
+  W.u16 w (List.length msg.deps);
+  W.u16 w (Bytes.length body);
+  List.iter (write_mid w) msg.deps;
+  W.bytes w body
+
+(* The tag has been consumed by the dispatcher. *)
+let read_data payload r =
+  let* origin = R.u24 r in
+  let* seq = R.u32 r in
+  let* dep_count = R.u16 r in
+  let* payload_len = R.u16 r in
+  if seq < 1 then Error "data: sequence number must be >= 1"
+  else begin
+    let rec read_deps k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* mid = read_mid r in
+        read_deps (k - 1) (mid :: acc)
+    in
+    let* deps = read_deps dep_count [] in
+    let* raw = R.bytes r payload_len in
+    let* value = payload.decode raw in
+    match
+      Causal.Causal_msg.make
+        ~mid:(Causal.Mid.make ~origin:(Net.Node_id.of_int origin) ~seq)
+        ~deps ~payload_size:payload_len value
+    with
+    | msg -> Ok msg
+    | exception Invalid_argument reason -> Error reason
+  end
+
+(* -- decisions ------------------------------------------------------------
+
+   Layout (= Decision.encoded_size):
+     subrun+1 u32 | coordinator u32 | flags u8
+     stable, max_processed, most_updated, min_waiting, acc_stable,
+       acc_min_waiting: n x u32 each (acc_stable uses the sentinel)
+     attempts: n x u16 | alive bitmap | heard bitmap *)
+
+let write_decision w (d : Decision.t) =
+  W.u32 w (d.subrun + 1);
+  W.u32 w (Net.Node_id.to_int d.coordinator);
+  W.u8 w (if d.full_group then 1 else 0);
+  Array.iter (W.u32 w) d.stable;
+  Array.iter (W.u32 w) d.max_processed;
+  Array.iter (fun node -> W.u32 w (Net.Node_id.to_int node)) d.most_updated;
+  Array.iter (W.u32 w) d.min_waiting;
+  Array.iter
+    (fun v -> W.u32 w (if v = max_int then u32_sentinel else v))
+    d.acc_stable;
+  Array.iter (W.u32 w) d.acc_min_waiting;
+  Array.iter (W.u16 w) d.attempts;
+  W.bitmap w d.alive;
+  W.bitmap w d.heard
+
+let encode_decision d =
+  let w = W.create () in
+  write_decision w d;
+  W.contents w
+
+let read_vec r n read_one =
+  let rec loop k acc =
+    if k = 0 then Ok (Array.of_list (List.rev acc))
+    else
+      let* v = read_one r in
+      loop (k - 1) (v :: acc)
+  in
+  loop n []
+
+let decode_decision ~n r =
+  let* subrun_plus1 = R.u32 r in
+  let* coordinator = R.u32 r in
+  let* flags = R.u8 r in
+  let* stable = read_vec r n R.u32 in
+  let* max_processed = read_vec r n R.u32 in
+  let* most_updated_raw = read_vec r n R.u32 in
+  let* min_waiting = read_vec r n R.u32 in
+  let* acc_stable_raw = read_vec r n R.u32 in
+  let* acc_min_waiting = read_vec r n R.u32 in
+  let* attempts = read_vec r n R.u16 in
+  let* alive = R.bitmap r n in
+  let* heard = R.bitmap r n in
+  Ok
+    {
+      Decision.subrun = subrun_plus1 - 1;
+      coordinator = Net.Node_id.of_int coordinator;
+      full_group = flags land 1 <> 0;
+      stable;
+      max_processed;
+      most_updated = Array.map Net.Node_id.of_int most_updated_raw;
+      min_waiting;
+      attempts;
+      alive;
+      heard;
+      acc_stable =
+        Array.map (fun v -> if v = u32_sentinel then max_int else v)
+          acc_stable_raw;
+      acc_min_waiting;
+    }
+
+(* -- requests -------------------------------------------------------------
+
+   Layout (= Wire.request_size):
+     tag u8 | sender u16 | reserved u8 | subrun u32
+     last_processed: n x u32 | waiting seqs: n x u32 (0 = none)
+     piggybacked decision *)
+
+let write_request w (r : Wire.request) =
+  W.u8 w tag_request;
+  W.u16 w (Net.Node_id.to_int r.sender);
+  W.u8 w 0;
+  W.u32 w r.subrun;
+  Array.iter (W.u32 w) r.last_processed;
+  Array.iter
+    (fun waiting ->
+      W.u32 w (match waiting with None -> 0 | Some mid -> Causal.Mid.seq mid))
+    r.waiting;
+  write_decision w r.prev_decision
+
+let read_request ~n r =
+  let* sender = R.u16 r in
+  let* _reserved = R.u8 r in
+  let* subrun = R.u32 r in
+  let* last_processed = read_vec r n R.u32 in
+  let* waiting_seqs = read_vec r n R.u32 in
+  let* prev_decision = decode_decision ~n r in
+  Ok
+    {
+      Wire.sender = Net.Node_id.of_int sender;
+      subrun;
+      last_processed;
+      waiting =
+        Array.mapi
+          (fun origin seq ->
+            if seq = 0 then None
+            else Some (Causal.Mid.make ~origin:(Net.Node_id.of_int origin) ~seq))
+          waiting_seqs;
+      prev_decision;
+    }
+
+(* -- top level ------------------------------------------------------------ *)
+
+let encode_body payload body =
+  let w = W.create () in
+  (match body with
+  | Wire.Data msg -> write_data payload w msg
+  | Wire.Request r -> write_request w r
+  | Wire.Decision_pdu d ->
+      W.u8 w tag_decision;
+      W.u24 w 0;
+      write_decision w d
+  | Wire.Recover_req { requester; origin; from_seq; to_seq } ->
+      W.u8 w tag_recover_req;
+      W.u24 w 0;
+      W.u32 w (Net.Node_id.to_int requester);
+      W.u32 w (Net.Node_id.to_int origin);
+      W.u32 w from_seq;
+      W.u32 w to_seq
+  | Wire.Recover_reply { responder; messages } ->
+      W.u8 w tag_recover_reply;
+      W.u24 w 0;
+      W.u32 w (Net.Node_id.to_int responder);
+      (* The message count is implied by the framing: each data message is
+         self-delimiting, so decode until the buffer ends. *)
+      List.iter (write_data payload w) messages);
+  W.contents w
+
+let decode_body payload ~n raw =
+  let r = R.of_bytes raw in
+  let* tag = R.u8 r in
+  if tag = tag_data then
+    let* msg = read_data payload r in
+    let* () = R.expect_end r in
+    Ok (Wire.Data msg)
+  else if tag = tag_request then
+    let* request = read_request ~n r in
+    let* () = R.expect_end r in
+    Ok (Wire.Request request)
+  else if tag = tag_decision then
+    let* _pad = R.u24 r in
+    let* d = decode_decision ~n r in
+    let* () = R.expect_end r in
+    Ok (Wire.Decision_pdu d)
+  else if tag = tag_recover_req then
+    let* _pad = R.u24 r in
+    let* requester = R.u32 r in
+    let* origin = R.u32 r in
+    let* from_seq = R.u32 r in
+    let* to_seq = R.u32 r in
+    let* () = R.expect_end r in
+    Ok
+      (Wire.Recover_req
+         {
+           requester = Net.Node_id.of_int requester;
+           origin = Net.Node_id.of_int origin;
+           from_seq;
+           to_seq;
+         })
+  else if tag = tag_recover_reply then begin
+    let* _pad = R.u24 r in
+    let* responder = R.u32 r in
+    let rec read_messages acc =
+      if R.remaining r = 0 then Ok (List.rev acc)
+      else
+        let* inner_tag = R.u8 r in
+        if inner_tag <> tag_data then Error "recover-reply: expected a data message"
+        else
+          let* msg = read_data payload r in
+          read_messages (msg :: acc)
+    in
+    let* messages = read_messages [] in
+    Ok
+      (Wire.Recover_reply
+         { responder = Net.Node_id.of_int responder; messages })
+  end
+  else Error (Printf.sprintf "unknown body tag %d" tag)

@@ -1,0 +1,1 @@
+lib/groups/client_server.ml: Causal Hashtbl List Net Sim Urcgc

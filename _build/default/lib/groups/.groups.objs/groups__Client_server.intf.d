@@ -1,0 +1,1 @@
+lib/groups/client_server.mli: Net Urcgc

@@ -1,0 +1,1 @@
+lib/groups/diffusion.ml: Array Causal Hashtbl List Net Sim Urcgc

@@ -1,0 +1,1 @@
+lib/groups/diffusion.mli: Causal Net Urcgc

@@ -1,0 +1,59 @@
+(** Client-server groups (Section 3).
+
+    "The algorithm we present may apply to client server groups, through a
+    proper management of the reply messages."
+
+    Clients are outside the peer group.  A client addresses its request to
+    one server; the server multicasts it through urcgc (so every server
+    processes every request, uniformly and in causal order) and sends the
+    reply to the client when the request message has been {e processed}
+    locally — i.e. once the group has accepted it and its causal
+    predecessors.  If the contacted server dies before replying, the client
+    times out and reissues the request to another server; servers detect
+    the duplicate by its client-assigned request id and reply without
+    re-multicasting.
+
+    Failover semantics are at-least-once: if the first server multicast the
+    request and then crashed before replying, the reissued copy is a new
+    group message, so the group may process the request body twice (under
+    two different mids).  The client-assigned request id makes server-side
+    deduplication — and idempotent application handlers — possible, which is
+    the "proper management" the paper alludes to. *)
+
+type 'a request = {
+  client : Net.Node_id.t;
+  request_id : int;
+  body : 'a;
+}
+
+type 'a t
+(** The service: a urcgc group whose payload type is ['a request]. *)
+
+type 'a client_handle
+
+val create :
+  'a request Urcgc.Cluster.t ->
+  net:'a request Urcgc.Wire.body Net.Netsim.t ->
+  unit ->
+  'a t
+(** Wires reply management into the cluster.  Call before
+    [Urcgc.Cluster.start]. *)
+
+val connect :
+  'a t -> client_id:Net.Node_id.t -> ?retry_subruns:int -> server:Net.Node_id.t ->
+  unit -> 'a client_handle
+(** Registers a client on the network.  [retry_subruns] (default 4) is how
+    long the client waits for a reply before reissuing the request to the
+    next server.  The client id must be outside the group range. *)
+
+val submit : 'a client_handle -> 'a -> int
+(** Sends a request; returns its request id.  The reply arrives
+    asynchronously — poll {!replies}. *)
+
+val replies : 'a client_handle -> (int * Net.Node_id.t) list
+(** (request id, replying server), in arrival order. *)
+
+val outstanding : 'a client_handle -> int
+
+val retries : 'a client_handle -> int
+(** Requests reissued to another server after a timeout. *)

@@ -1,0 +1,1 @@
+lib/net/bytebuf.ml: Array Buffer Bytes Int32 Printf Result

@@ -1,0 +1,1 @@
+lib/net/fault.ml: Array Hashtbl List Node_id Sim

@@ -1,0 +1,1 @@
+lib/net/fault.mli: Node_id Sim

@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Fault Hashtbl List Node_id Sim Traffic

@@ -1,0 +1,1 @@
+lib/net/netsim.mli: Fault Node_id Sim Traffic

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Fun Hashtbl List Netsim Node_id Option Sim Traffic

@@ -1,0 +1,1 @@
+lib/net/transport.mli: Fault Netsim Node_id Sim Traffic

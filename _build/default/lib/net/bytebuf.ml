@@ -1,0 +1,113 @@
+let ( let* ) = Result.bind
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+
+  let length = Buffer.length
+
+  let check value bits =
+    if value < 0 || (bits < 63 && value lsr bits <> 0) then
+      invalid_arg (Printf.sprintf "Bytebuf.Writer: %d does not fit u%d" value bits)
+
+  let u8 t v =
+    check v 8;
+    Buffer.add_uint8 t v
+
+  let u16 t v =
+    check v 16;
+    Buffer.add_uint16_be t v
+
+  let u24 t v =
+    check v 24;
+    Buffer.add_uint8 t (v lsr 16);
+    Buffer.add_uint16_be t (v land 0xFFFF)
+
+  let u32 t v =
+    check v 32;
+    Buffer.add_int32_be t (Int32.of_int v)
+
+  let bytes t b = Buffer.add_bytes t b
+
+  let bitmap t flags =
+    let n = Array.length flags in
+    let byte_count = (n + 7) / 8 in
+    for byte = 0 to byte_count - 1 do
+      let value = ref 0 in
+      for bit = 0 to 7 do
+        let i = (byte * 8) + bit in
+        if i < n && flags.(i) then value := !value lor (1 lsl bit)
+      done;
+      Buffer.add_uint8 t !value
+    done
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+
+  let remaining t = Bytes.length t.data - t.pos
+
+  let need t n =
+    if remaining t < n then Error (Printf.sprintf "truncated: need %d bytes" n)
+    else Ok ()
+
+  let u8 t =
+    let* () = need t 1 in
+    let v = Bytes.get_uint8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    Ok v
+
+  let u16 t =
+    let* () = need t 2 in
+    let v = Bytes.get_uint16_be t.data t.pos in
+    t.pos <- t.pos + 2;
+    Ok v
+
+  let u24 t =
+    let* hi = u8 t in
+    let* lo = u16 t in
+    Ok ((hi lsl 16) lor lo)
+
+  let u32 t =
+    let* () = need t 4 in
+    let v = Int32.to_int (Bytes.get_int32_be t.data t.pos) in
+    let v = v land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    Ok v
+
+  let bytes t n =
+    if n < 0 then Error "negative length"
+    else
+      let* () = need t n in
+      let b = Bytes.sub t.data t.pos n in
+      t.pos <- t.pos + n;
+      Ok b
+
+  let bitmap t n =
+    if n < 0 then Error "negative bitmap size"
+    else begin
+      let byte_count = (n + 7) / 8 in
+      let* raw = bytes t byte_count in
+      Ok
+        (Array.init n (fun i ->
+             let byte = Bytes.get_uint8 raw (i / 8) in
+             byte land (1 lsl (i mod 8)) <> 0))
+    end
+
+  let expect_end t =
+    if remaining t = 0 then Ok ()
+    else Error (Printf.sprintf "%d trailing bytes" (remaining t))
+end
+
+type 'a codec = {
+  encode : 'a -> bytes;
+  decode : bytes -> ('a, string) result;
+}
+
+let string_codec =
+  { encode = Bytes.of_string; decode = (fun b -> Ok (Bytes.to_string b)) }

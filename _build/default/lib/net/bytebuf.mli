@@ -1,0 +1,50 @@
+(** Byte-level writer/reader used by the wire codecs.
+
+    Big-endian fixed-width integers; the reader returns [Error] instead of
+    raising on truncated or malformed input, so decoding a hostile packet
+    can never take a protocol entity down. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u24 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Each raises [Invalid_argument] when the value does not fit. *)
+
+  val bytes : t -> bytes -> unit
+  val bitmap : t -> bool array -> unit
+  (** Packs 8 flags per byte, LSB first, padded to a whole byte. *)
+
+  val contents : t -> bytes
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val remaining : t -> int
+  val u8 : t -> (int, string) result
+  val u16 : t -> (int, string) result
+  val u24 : t -> (int, string) result
+  val u32 : t -> (int, string) result
+  val bytes : t -> int -> (bytes, string) result
+  val bitmap : t -> int -> (bool array, string) result
+  (** [bitmap r n] reads [ceil (n/8)] bytes and returns [n] flags. *)
+
+  val expect_end : t -> (unit, string) result
+end
+
+val ( let* ) :
+  ('a, string) result -> ('a -> ('b, string) result) -> ('b, string) result
+
+type 'a codec = {
+  encode : 'a -> bytes;
+  decode : bytes -> ('a, string) result;
+}
+(** Payload codec threaded through the protocol wire codecs. *)
+
+val string_codec : string codec

@@ -1,0 +1,80 @@
+type spec = {
+  crashes : (Node_id.t * Sim.Ticks.t) list;
+  send_omission : float;
+  recv_omission : float;
+  link_loss : float;
+  silenced_per_subrun : int;
+  population : int;
+}
+
+let reliable =
+  {
+    crashes = [];
+    send_omission = 0.0;
+    recv_omission = 0.0;
+    link_loss = 0.0;
+    silenced_per_subrun = 0;
+    population = 0;
+  }
+
+let omission_every k =
+  if k <= 0 then invalid_arg "Fault.omission_every: k must be positive";
+  let p = 1.0 /. float_of_int k /. 2.0 in
+  { reliable with send_omission = p; recv_omission = p }
+
+let with_crashes crashes spec = { spec with crashes }
+
+let with_subrun_silence ~count ~population spec =
+  if count < 0 || count >= population then
+    invalid_arg "Fault.with_subrun_silence: count must be in [0, population)";
+  { spec with silenced_per_subrun = count; population }
+
+type t = {
+  spec : spec;
+  rng : Sim.Rng.t;
+  crash_time : (Node_id.t, Sim.Ticks.t) Hashtbl.t;
+  mutable silenced_subrun : int;  (* which subrun the cached set is for *)
+  mutable silenced : Node_id.Set.t;
+}
+
+let create spec ~rng =
+  let crash_time = Hashtbl.create 16 in
+  List.iter (fun (node, time) -> Hashtbl.replace crash_time node time) spec.crashes;
+  { spec; rng; crash_time; silenced_subrun = -1; silenced = Node_id.Set.empty }
+
+let spec t = t.spec
+
+let crashed t ~now node =
+  match Hashtbl.find_opt t.crash_time node with
+  | None -> false
+  | Some time -> Sim.Ticks.(time <= now)
+
+let crash_now t ~now node =
+  if not (crashed t ~now node) then Hashtbl.replace t.crash_time node now
+
+(* Resample the silenced set lazily at each subrun boundary. *)
+let silenced_now t ~now node =
+  if t.spec.silenced_per_subrun = 0 then false
+  else begin
+    let subrun = Sim.Ticks.to_int now / Sim.Ticks.per_rtd in
+    if subrun <> t.silenced_subrun then begin
+      t.silenced_subrun <- subrun;
+      let ids = Array.init t.spec.population Node_id.of_int in
+      Sim.Rng.shuffle t.rng ids;
+      let chosen = Array.sub ids 0 t.spec.silenced_per_subrun in
+      t.silenced <- Node_id.Set.of_list (Array.to_list chosen)
+    end;
+    Node_id.Set.mem node t.silenced
+  end
+
+let drop_on_send t ~now node =
+  crashed t ~now node
+  || silenced_now t ~now node
+  || Sim.Rng.bool t.rng t.spec.send_omission
+
+let drop_on_link t = Sim.Rng.bool t.rng t.spec.link_loss
+
+let drop_on_recv t ~now node =
+  crashed t ~now node || Sim.Rng.bool t.rng t.spec.recv_omission
+
+let alive t ~now ~all = List.filter (fun node -> not (crashed t ~now node)) all

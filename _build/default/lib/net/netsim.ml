@@ -1,0 +1,86 @@
+type 'msg packet = {
+  src : Node_id.t;
+  dst : Node_id.t;
+  kind : Traffic.kind;
+  size : int;
+  payload : 'msg;
+}
+
+type latency = { base : Sim.Ticks.t; jitter : int }
+
+let default_latency = { base = Sim.Ticks.of_int 40; jitter = 10 }
+
+type 'msg t = {
+  engine : Sim.Engine.t;
+  fault : Fault.t;
+  rng : Sim.Rng.t;
+  latency : latency;
+  traffic : Traffic.t;
+  handlers : (Node_id.t, 'msg packet -> unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable filter : ('msg packet -> bool) option;
+}
+
+let create ?(latency = default_latency) engine ~fault ~rng () =
+  {
+    engine;
+    fault;
+    rng;
+    latency;
+    traffic = Traffic.create ();
+    handlers = Hashtbl.create 64;
+    delivered = 0;
+    dropped = 0;
+    filter = None;
+  }
+
+let engine t = t.engine
+let fault t = t.fault
+let traffic t = t.traffic
+
+let attach t node handler =
+  if Hashtbl.mem t.handlers node then
+    invalid_arg "Netsim.attach: node already attached";
+  Hashtbl.replace t.handlers node handler
+
+let one_way_delay t =
+  let jitter =
+    if t.latency.jitter <= 0 then 0 else Sim.Rng.int t.rng t.latency.jitter
+  in
+  Sim.Ticks.add t.latency.base (Sim.Ticks.of_int jitter)
+
+let deliver t packet =
+  let now = Sim.Engine.now t.engine in
+  if Fault.drop_on_recv t.fault ~now packet.dst then t.dropped <- t.dropped + 1
+  else
+    match Hashtbl.find_opt t.handlers packet.dst with
+    | None -> t.dropped <- t.dropped + 1
+    | Some handler ->
+        t.delivered <- t.delivered + 1;
+        handler packet
+
+let filtered_out t packet =
+  match t.filter with None -> false | Some keep -> not (keep packet)
+
+let send t ~src ~dst ~kind ~size payload =
+  Traffic.record t.traffic ~kind ~size;
+  let now = Sim.Engine.now t.engine in
+  let packet = { src; dst; kind; size; payload } in
+  if
+    Fault.drop_on_send t.fault ~now src
+    || Fault.drop_on_link t.fault
+    || filtered_out t packet
+  then t.dropped <- t.dropped + 1
+  else begin
+    let delay = one_way_delay t in
+    ignore (Sim.Engine.schedule_after t.engine ~delay (fun () -> deliver t packet))
+  end
+
+let multicast t ~src ~dsts ~kind ~size payload =
+  List.iter (fun dst -> send t ~src ~dst ~kind ~size payload) dsts
+
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+
+let set_filter t filter = t.filter <- filter

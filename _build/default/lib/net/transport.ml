@@ -1,0 +1,231 @@
+type 'msg frame =
+  | Payload of {
+      xid : int;
+      origin : Node_id.t;
+      frag : int;  (** fragment index, 0-based *)
+      frags : int;  (** total fragments of this request *)
+      body : 'msg;
+    }
+  | Ack of { xid : int; frag : int }
+
+(* Per-destination reassembly/acknowledgement state of one request. *)
+type dst_state = {
+  mutable missing : bool array;  (** fragments not yet acknowledged *)
+  mutable complete : bool;
+}
+
+type 'msg pending = {
+  xid : int;
+  src : Node_id.t;
+  h : int;
+  kind : Traffic.kind;
+  frag_sizes : int array;
+  body : 'msg;
+  per_dst : (int, dst_state) Hashtbl.t;
+  mutable acked : int;  (** destinations fully acknowledged *)
+  mutable retries_left : int;
+  mutable confirmed : bool;
+  on_confirm : acked:int -> unit;
+}
+
+type 'msg t = {
+  net : 'msg frame Netsim.t;
+  retry_interval : Sim.Ticks.t;
+  max_retries : int;
+  mtu : int option;
+  handlers : (Node_id.t, src:Node_id.t -> 'msg -> unit) Hashtbl.t;
+  (* Per-receiver reassembly: (origin, xid) -> fragments received, and
+     whether the body was already delivered. *)
+  reassembly : (Node_id.t, (int * int, bool array * bool ref) Hashtbl.t) Hashtbl.t;
+  pendings : (int, 'msg pending) Hashtbl.t;
+  mutable next_xid : int;
+  mutable retransmissions : int;
+  mutable fragments_sent : int;
+}
+
+let ack_size = 12
+
+let fragment_header = 8
+
+let create ?latency ?retry_interval ?max_retries ?mtu engine ~fault ~rng () =
+  let retry_interval =
+    Option.value retry_interval ~default:(Sim.Ticks.of_int Sim.Ticks.per_rtd)
+  in
+  let max_retries = Option.value max_retries ~default:4 in
+  (match mtu with
+  | Some mtu when mtu <= fragment_header ->
+      invalid_arg "Transport.create: mtu too small"
+  | Some _ | None -> ());
+  {
+    net = Netsim.create ?latency engine ~fault ~rng ();
+    retry_interval;
+    max_retries;
+    mtu;
+    handlers = Hashtbl.create 64;
+    reassembly = Hashtbl.create 64;
+    pendings = Hashtbl.create 64;
+    next_xid = 0;
+    retransmissions = 0;
+    fragments_sent = 0;
+  }
+
+let traffic t = Netsim.traffic t.net
+let retransmissions t = t.retransmissions
+let fragments_sent t = t.fragments_sent
+let engine t = Netsim.engine t.net
+let fault t = Netsim.fault t.net
+
+let fragment_sizes t total =
+  match t.mtu with
+  | None -> [| total |]
+  | Some mtu ->
+      let chunk = mtu - fragment_header in
+      if total <= mtu then [| total |]
+      else begin
+        let count = (total + chunk - 1) / chunk in
+        Array.init count (fun i ->
+            let remaining = total - (i * chunk) in
+            fragment_header + min chunk remaining)
+      end
+
+let reassembly_table t node =
+  match Hashtbl.find_opt t.reassembly node with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 256 in
+      Hashtbl.replace t.reassembly node table;
+      table
+
+let on_frame t node packet =
+  match packet.Netsim.payload with
+  | Payload { xid; origin; frag; frags; body } ->
+      let table = reassembly_table t node in
+      let key = (Node_id.to_int origin, xid) in
+      let received, delivered =
+        match Hashtbl.find_opt table key with
+        | Some state -> state
+        | None ->
+            let state = (Array.make frags false, ref false) in
+            Hashtbl.replace table key state;
+            state
+      in
+      if frag >= 0 && frag < Array.length received then begin
+        received.(frag) <- true;
+        if (not !delivered) && Array.for_all Fun.id received then begin
+          delivered := true;
+          match Hashtbl.find_opt t.handlers node with
+          | Some handler -> handler ~src:origin body
+          | None -> ()
+        end
+      end;
+      (* Always (re-)ack the fragment so a lost ack does not force a
+         useless retransmission. *)
+      Netsim.send t.net ~src:node ~dst:origin ~kind:Traffic.Ack ~size:ack_size
+        (Ack { xid; frag })
+  | Ack { xid; frag } -> (
+      match Hashtbl.find_opt t.pendings xid with
+      | None -> ()
+      | Some pending -> (
+          let acker = Node_id.to_int packet.Netsim.src in
+          match Hashtbl.find_opt pending.per_dst acker with
+          | None -> ()
+          | Some state ->
+              if
+                (not state.complete)
+                && frag >= 0
+                && frag < Array.length state.missing
+              then begin
+                state.missing.(frag) <- false;
+                if not (Array.exists Fun.id state.missing) then begin
+                  state.complete <- true;
+                  pending.acked <- pending.acked + 1;
+                  if pending.acked >= pending.h && not pending.confirmed then begin
+                    pending.confirmed <- true;
+                    Hashtbl.remove t.pendings xid;
+                    pending.on_confirm ~acked:pending.acked
+                  end
+                end
+              end))
+
+let attach t node handler =
+  if Hashtbl.mem t.handlers node then
+    invalid_arg "Transport.attach: node already attached";
+  Hashtbl.replace t.handlers node handler;
+  Netsim.attach t.net node (on_frame t node)
+
+let transmit t pending ~first =
+  let frags = Array.length pending.frag_sizes in
+  Hashtbl.iter
+    (fun dst_int state ->
+      if not state.complete then
+        Array.iteri
+          (fun frag missing ->
+            if missing then begin
+              if not first then t.retransmissions <- t.retransmissions + 1;
+              if frags > 1 then t.fragments_sent <- t.fragments_sent + 1;
+              Netsim.send t.net ~src:pending.src
+                ~dst:(Node_id.of_int dst_int) ~kind:pending.kind
+                ~size:pending.frag_sizes.(frag)
+                (Payload
+                   {
+                     xid = pending.xid;
+                     origin = pending.src;
+                     frag;
+                     frags;
+                     body = pending.body;
+                   })
+            end)
+          state.missing)
+    pending.per_dst
+
+let rec arm_retry t pending =
+  ignore
+    (Sim.Engine.schedule_after (Netsim.engine t.net) ~delay:t.retry_interval
+       (fun () ->
+         if not pending.confirmed then
+           if pending.retries_left > 0 then begin
+             pending.retries_left <- pending.retries_left - 1;
+             transmit t pending ~first:false;
+             arm_retry t pending
+           end
+           else begin
+             (* The primitive never fails: confirm with whatever we got. *)
+             pending.confirmed <- true;
+             Hashtbl.remove t.pendings pending.xid;
+             pending.on_confirm ~acked:pending.acked
+           end))
+
+let request t ~src ~dsts ~h ~kind ~size ~on_confirm body =
+  if dsts = [] then invalid_arg "Transport.request: empty destination set";
+  if h < 1 || h > List.length dsts then
+    invalid_arg "Transport.request: h out of range";
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  let frag_sizes = fragment_sizes t size in
+  let per_dst = Hashtbl.create (List.length dsts) in
+  List.iter
+    (fun dst ->
+      Hashtbl.replace per_dst (Node_id.to_int dst)
+        {
+          missing = Array.make (Array.length frag_sizes) true;
+          complete = false;
+        })
+    dsts;
+  let pending =
+    {
+      xid;
+      src;
+      h;
+      kind;
+      frag_sizes;
+      body;
+      per_dst;
+      acked = 0;
+      retries_left = t.max_retries;
+      confirmed = false;
+      on_confirm;
+    }
+  in
+  Hashtbl.replace t.pendings xid pending;
+  transmit t pending ~first:true;
+  arm_retry t pending

@@ -1,0 +1,1 @@
+lib/psync/cluster.ml: Array Context_graph Format List Member Net Sim Wire

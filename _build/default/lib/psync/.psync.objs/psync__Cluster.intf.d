@@ -1,0 +1,1 @@
+lib/psync/cluster.mli: Context_graph Member Net Sim Wire

@@ -1,0 +1,1 @@
+lib/psync/context_graph.ml: Format Int List Map Net

@@ -1,0 +1,1 @@
+lib/psync/context_graph.mli: Format Net

@@ -1,0 +1,1 @@
+lib/psync/member.ml: Array Context_graph Hashtbl List Net Option Queue Wire

@@ -1,0 +1,1 @@
+lib/psync/member.mli: Context_graph Net Wire

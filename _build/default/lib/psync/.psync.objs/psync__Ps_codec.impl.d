@@ -1,0 +1,1 @@
+lib/psync/ps_codec.ml: Bytes Context_graph List Net Printf Wire

@@ -1,0 +1,1 @@
+lib/psync/ps_codec.mli: Net Wire

@@ -1,0 +1,1 @@
+lib/psync/wire.ml: Context_graph Format List Net

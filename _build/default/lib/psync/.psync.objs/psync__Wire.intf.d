@@ -1,0 +1,1 @@
+lib/psync/wire.mli: Context_graph Format Net

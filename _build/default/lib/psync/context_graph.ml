@@ -1,0 +1,93 @@
+type mid = { sender : Net.Node_id.t; seq : int }
+
+let mid_compare a b =
+  let c = Net.Node_id.compare a.sender b.sender in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let pp_mid ppf { sender; seq } = Format.fprintf ppf "%a~%d" Net.Node_id.pp sender seq
+
+module Mid_map = Map.Make (struct
+  type t = mid
+
+  let compare = mid_compare
+end)
+
+type 'a node = {
+  mid : mid;
+  preds : mid list;
+  payload : 'a;
+  payload_size : int;
+}
+
+type 'a t = {
+  mutable nodes : 'a node Mid_map.t;  (* attached *)
+  mutable leaf_set : unit Mid_map.t;
+  mutable waiting : 'a node Mid_map.t;  (* pending: some predecessor missing *)
+}
+
+let create () =
+  { nodes = Mid_map.empty; leaf_set = Mid_map.empty; waiting = Mid_map.empty }
+
+let mem t mid = Mid_map.mem mid t.nodes
+
+let attached t = Mid_map.cardinal t.nodes
+
+let leaves t = List.map fst (Mid_map.bindings t.leaf_set)
+
+let missing_preds t node =
+  List.filter (fun mid -> not (mem t mid)) node.preds
+
+let attach_now t node =
+  t.nodes <- Mid_map.add node.mid node t.nodes;
+  List.iter
+    (fun pred -> t.leaf_set <- Mid_map.remove pred t.leaf_set)
+    node.preds;
+  t.leaf_set <- Mid_map.add node.mid () t.leaf_set
+
+let attach t node =
+  if mem t node.mid then Ok []
+  else
+    match missing_preds t node with
+    | _ :: _ as missing ->
+        if not (Mid_map.mem node.mid t.waiting) then
+          t.waiting <- Mid_map.add node.mid node t.waiting;
+        Error missing
+    | [] ->
+        attach_now t node;
+        let attached_nodes = ref [ node ] in
+        (* Attaching one node can unblock pending successors; iterate to a
+           fixpoint in deterministic mid order. *)
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          let ready =
+            Mid_map.filter (fun _ n -> missing_preds t n = []) t.waiting
+          in
+          Mid_map.iter
+            (fun mid n ->
+              t.waiting <- Mid_map.remove mid t.waiting;
+              attach_now t n;
+              attached_nodes := n :: !attached_nodes;
+              progress := true)
+            ready
+        done;
+        Ok (List.rev !attached_nodes)
+
+let pending t = Mid_map.cardinal t.waiting
+
+let pending_drop_newest t bound =
+  let excess = pending t - bound in
+  if excess <= 0 then []
+  else begin
+    let dropped = ref [] in
+    for _ = 1 to excess do
+      match Mid_map.max_binding_opt t.waiting with
+      | None -> ()
+      | Some (mid, _) ->
+          t.waiting <- Mid_map.remove mid t.waiting;
+          dropped := mid :: !dropped
+    done;
+    !dropped
+  end
+
+let find t mid = Mid_map.find_opt mid t.nodes

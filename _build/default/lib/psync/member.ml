@@ -1,0 +1,309 @@
+type 'a action =
+  | Multicast of 'a Wire.body
+  | Unicast of Net.Node_id.t * 'a Wire.body
+  | Delivered of 'a Context_graph.node
+  | Masked of Net.Node_id.t
+  | Dropped of Context_graph.mid list
+
+type 'a submission = { payload : 'a; size : int }
+
+type mask_state = {
+  m_target : Net.Node_id.t;
+  mutable m_awaiting : Net.Node_id.Set.t;  (* initiator side *)
+  m_initiator : Net.Node_id.t;
+  m_deadline : int;
+}
+
+type 'a t = {
+  id : Net.Node_id.t;
+  n : int;
+  k : int;
+  graph : 'a Context_graph.t;
+  participants : bool array;
+  mutable next_seq : int;
+  mutable mask : mask_state option;
+  last_heard : int array;
+  (* one retransmission request per missing mid per subrun; rotate the target
+     when attempts accumulate *)
+  retrans : (Context_graph.mid, int) Hashtbl.t;
+  sap : 'a submission Queue.t;
+  pending_bound : int option;
+  mutable masked_out : bool;
+  mutable last_data_subrun : int;
+  mutable last_keepalive_subrun : int;
+  default_payload_size : int;
+}
+
+let create ?pending_bound ~n ~k id =
+  if n <= 0 then invalid_arg "Member.create: n must be positive";
+  if k <= 0 then invalid_arg "Member.create: k must be positive";
+  {
+    id;
+    n;
+    k;
+    graph = Context_graph.create ();
+    participants = Array.make n true;
+    next_seq = 1;
+    mask = None;
+    last_heard = Array.make n 0;
+    retrans = Hashtbl.create 64;
+    sap = Queue.create ();
+    pending_bound;
+    masked_out = false;
+    last_data_subrun = -1;
+    last_keepalive_subrun = -1;
+    default_payload_size = 64;
+  }
+
+let id t = t.id
+let active t = not t.masked_out
+let masking t = t.mask <> None
+let participants t = Array.copy t.participants
+let pending t = Context_graph.pending t.graph
+let attached t = Context_graph.attached t.graph
+let sap_backlog t = Queue.length t.sap
+
+let submit ?size t payload =
+  let size = Option.value size ~default:t.default_payload_size in
+  Queue.push { payload; size } t.sap
+
+let me t = Net.Node_id.to_int t.id
+
+let leader t =
+  let rec scan i =
+    if i >= t.n then None
+    else if t.participants.(i) then Some (Net.Node_id.of_int i)
+    else scan (i + 1)
+  in
+  scan 0
+
+(* -- attach + bookkeeping ---------------------------------------------- *)
+
+let note_missing t missing =
+  List.iter
+    (fun mid ->
+      if not (Hashtbl.mem t.retrans mid) then Hashtbl.replace t.retrans mid 0)
+    missing
+
+let integrate t node =
+  match Context_graph.attach t.graph node with
+  | Ok attached ->
+      List.iter
+        (fun (n : 'a Context_graph.node) -> Hashtbl.remove t.retrans n.mid)
+        attached;
+      List.map (fun n -> Delivered n) attached
+  | Error missing ->
+      note_missing t missing;
+      []
+
+let flow_control t =
+  match t.pending_bound with
+  | None -> []
+  | Some bound -> (
+      match Context_graph.pending_drop_newest t.graph bound with
+      | [] -> []
+      | dropped ->
+          (* What was dropped may be requested again later; forget the
+             retransmission state of mids nothing references anymore. *)
+          [ Dropped dropped ])
+
+(* -- mask_out ---------------------------------------------------------- *)
+
+let apply_mask t target =
+  t.participants.(Net.Node_id.to_int target) <- false;
+  t.mask <- None;
+  if Net.Node_id.equal target t.id then t.masked_out <- true
+
+let begin_mask t ~subrun target =
+  let awaiting = ref Net.Node_id.Set.empty in
+  Array.iteri
+    (fun i participant ->
+      if participant && i <> me t && i <> Net.Node_id.to_int target then
+        awaiting := Net.Node_id.Set.add (Net.Node_id.of_int i) !awaiting)
+    t.participants;
+  t.mask <-
+    Some
+      {
+        m_target = target;
+        m_awaiting = !awaiting;
+        m_initiator = t.id;
+        m_deadline = subrun + t.k;
+      };
+  [ Multicast (Wire.Mask_out { target; initiator = t.id }) ]
+
+let finish_mask t target =
+  apply_mask t target;
+  [ Multicast (Wire.Mask_done { target }); Masked target ]
+
+(* -- round hook -------------------------------------------------------- *)
+
+let generate t ~subrun =
+  if t.masked_out || masking t || Queue.is_empty t.sap then []
+  else begin
+    t.last_data_subrun <- subrun;
+    let { payload; size } = Queue.pop t.sap in
+    let node =
+      {
+        Context_graph.mid = { sender = t.id; seq = t.next_seq };
+        preds = Context_graph.leaves t.graph;
+        payload;
+        payload_size = size;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    let delivered = integrate t node in
+    Multicast (Wire.Msg node) :: delivered
+  end
+
+let retransmission_requests t ~subrun =
+  ignore subrun;
+  Hashtbl.fold
+    (fun mid attempts acc ->
+      Hashtbl.replace t.retrans mid (attempts + 1);
+      let sender = mid.Context_graph.sender in
+      (* Ask the original sender while it is still a participant; then rotate
+         over the surviving participants. *)
+      let target =
+        if
+          t.participants.(Net.Node_id.to_int sender)
+          && attempts < t.k
+        then Some sender
+        else begin
+          let rec rotate i steps =
+            if steps >= t.n then None
+            else if t.participants.(i) && i <> me t then
+              Some (Net.Node_id.of_int i)
+            else rotate ((i + 1) mod t.n) (steps + 1)
+          in
+          rotate (attempts mod t.n) 0
+        end
+      in
+      match target with
+      | Some target when not (Net.Node_id.equal target t.id) ->
+          Unicast (target, Wire.Retrans_req { requester = t.id; wanted = mid })
+          :: acc
+      | Some _ | None -> acc)
+    t.retrans []
+
+let detect_failures t ~subrun =
+  if subrun <= t.k then []
+  else begin
+    let suspects = ref [] in
+    Array.iteri
+      (fun i participant ->
+        if participant && i <> me t && subrun - t.last_heard.(i) >= t.k then
+          suspects := Net.Node_id.of_int i :: !suspects)
+      t.participants;
+    !suspects
+  end
+
+let on_round t ~subrun =
+  if t.masked_out then []
+  else begin
+    let mask_actions =
+      match t.mask with
+      | Some m
+        when Net.Node_id.equal m.m_initiator t.id && subrun >= m.m_deadline ->
+          (* Non-ackers are silently tolerated: apply the mask anyway (they
+             will learn from Mask_done or be masked next). *)
+          finish_mask t m.m_target
+      | Some m
+        when (not (Net.Node_id.equal m.m_initiator t.id))
+             && subrun >= m.m_deadline + t.k ->
+          (* Initiator vanished: unblock and let the detector try again. *)
+          t.mask <- None;
+          []
+      | Some _ -> []
+      | None -> (
+          match detect_failures t ~subrun with
+          | [] -> []
+          | suspect :: _ -> (
+              match leader t with
+              | Some l when Net.Node_id.equal l t.id ->
+                  begin_mask t ~subrun suspect
+              | Some l when Net.Node_id.equal l suspect ->
+                  (* The leader itself is the suspect: next participant
+                     initiates. *)
+                  let rec next i =
+                    if i >= t.n then None
+                    else if
+                      t.participants.(i)
+                      && not (Net.Node_id.equal (Net.Node_id.of_int i) suspect)
+                    then Some (Net.Node_id.of_int i)
+                    else next (i + 1)
+                  in
+                  (match next 0 with
+                  | Some me_candidate when Net.Node_id.equal me_candidate t.id ->
+                      begin_mask t ~subrun suspect
+                  | Some _ | None -> [])
+              | Some _ | None -> []))
+    in
+    let keepalive =
+      if
+        (not (masking t))
+        && t.last_data_subrun < subrun - 1
+        && t.last_keepalive_subrun < subrun
+      then begin
+        t.last_keepalive_subrun <- subrun;
+        [ Multicast Wire.Keepalive ]
+      end
+      else []
+    in
+    mask_actions @ keepalive @ retransmission_requests t ~subrun
+    @ generate t ~subrun @ flow_control t
+  end
+
+(* -- PDU handler ------------------------------------------------------- *)
+
+let handle t ~subrun ~from body =
+  if t.masked_out then []
+  else begin
+    t.last_heard.(Net.Node_id.to_int from) <- subrun;
+    match body with
+    | Wire.Msg node | Wire.Retrans_reply node ->
+        let delivered = integrate t node in
+        delivered @ flow_control t
+    | Wire.Keepalive -> []
+    | Wire.Retrans_req { requester; wanted } -> (
+        match Context_graph.find t.graph wanted with
+        | Some node -> [ Unicast (requester, Wire.Retrans_reply node) ]
+        | None -> [])
+    | Wire.Mask_out { target; initiator } ->
+        if Net.Node_id.equal target t.id then begin
+          (* Excluded: leave the conversation. *)
+          t.masked_out <- true;
+          []
+        end
+        else begin
+          (match t.mask with
+          | None ->
+              t.mask <-
+                Some
+                  {
+                    m_target = target;
+                    m_awaiting = Net.Node_id.Set.empty;
+                    m_initiator = initiator;
+                    m_deadline = subrun + t.k;
+                  }
+          | Some _ -> ());
+          [ Unicast (initiator, Wire.Mask_ack { target }) ]
+        end
+    | Wire.Mask_ack { target } -> (
+        match t.mask with
+        | Some m
+          when Net.Node_id.equal m.m_initiator t.id
+               && Net.Node_id.equal m.m_target target ->
+            m.m_awaiting <- Net.Node_id.Set.remove from m.m_awaiting;
+            if Net.Node_id.Set.is_empty m.m_awaiting then finish_mask t target
+            else []
+        | Some _ | None -> [])
+    | Wire.Mask_done { target } ->
+        if Net.Node_id.equal target t.id then begin
+          t.masked_out <- true;
+          []
+        end
+        else begin
+          apply_mask t target;
+          [ Masked target ]
+        end
+  end

@@ -1,0 +1,40 @@
+(** Per-process Psync participant.
+
+    Psync provides causal group multicast through the conversation
+    abstraction: messages are attached to a shared context graph and an
+    application sees a message only after all its predecessors.  Loss is
+    repaired by NACK-style retransmission requests; crashed participants are
+    excluded with the specialized [mask_out] operation, which — as the paper
+    points out — must be run all over again at every failure and blocks new
+    message generation while the group agrees.  Flow control truncates the
+    pending set beyond a bound, deliberately re-introducing omissions. *)
+
+type 'a action =
+  | Multicast of 'a Wire.body
+  | Unicast of Net.Node_id.t * 'a Wire.body
+  | Delivered of 'a Context_graph.node
+  | Masked of Net.Node_id.t  (** the group agreed to exclude this process *)
+  | Dropped of Context_graph.mid list  (** flow-control truncation *)
+
+type 'a t
+
+val create : ?pending_bound:int -> n:int -> k:int -> Net.Node_id.t -> 'a t
+
+val id : 'a t -> Net.Node_id.t
+val active : 'a t -> bool
+(** False once this process was masked out of the conversation. *)
+
+val masking : 'a t -> bool
+(** A mask_out agreement is in progress: generation is blocked. *)
+
+val participants : 'a t -> bool array
+val pending : 'a t -> int
+val attached : 'a t -> int
+val sap_backlog : 'a t -> int
+
+val submit : ?size:int -> 'a t -> 'a -> unit
+
+val on_round : 'a t -> subrun:int -> 'a action list
+
+val handle :
+  'a t -> subrun:int -> from:Net.Node_id.t -> 'a Wire.body -> 'a action list

@@ -1,0 +1,9 @@
+(** Binary codec for the Psync PDUs; encoded lengths equal
+    {!Wire.body_size}, decoding is total (hostile input yields [Error]). *)
+
+val encode_body : 'a Net.Bytebuf.codec -> 'a Wire.body -> bytes
+(** Raises [Invalid_argument] when a field exceeds its wire width or a
+    payload encoding disagrees with the node's declared [payload_size]. *)
+
+val decode_body :
+  'a Net.Bytebuf.codec -> bytes -> ('a Wire.body, string) result

@@ -1,0 +1,38 @@
+type 'a body =
+  | Msg of 'a Context_graph.node
+  | Retrans_req of { requester : Net.Node_id.t; wanted : Context_graph.mid }
+  | Retrans_reply of 'a Context_graph.node
+  | Keepalive
+  | Mask_out of { target : Net.Node_id.t; initiator : Net.Node_id.t }
+  | Mask_ack of { target : Net.Node_id.t }
+  | Mask_done of { target : Net.Node_id.t }
+
+let node_size (n : 'a Context_graph.node) =
+  8 + (8 * List.length n.preds) + 4 + n.payload_size
+
+let body_size = function
+  | Msg n -> node_size n
+  | Retrans_req _ -> 12
+  | Retrans_reply n -> 4 + node_size n
+  | Keepalive -> 8
+  | Mask_out _ -> 12
+  | Mask_ack _ -> 8
+  | Mask_done _ -> 8
+
+let kind = function
+  | Msg _ -> Net.Traffic.Data
+  | Retrans_req _ | Retrans_reply _ -> Net.Traffic.Recovery
+  | Keepalive | Mask_out _ | Mask_ack _ | Mask_done _ -> Net.Traffic.Control
+
+let pp_body ppf = function
+  | Msg n -> Format.fprintf ppf "msg %a" Context_graph.pp_mid n.Context_graph.mid
+  | Retrans_req { wanted; _ } ->
+      Format.fprintf ppf "retrans-req %a" Context_graph.pp_mid wanted
+  | Retrans_reply n ->
+      Format.fprintf ppf "retrans-reply %a" Context_graph.pp_mid n.Context_graph.mid
+  | Keepalive -> Format.pp_print_string ppf "keepalive"
+  | Mask_out { target; _ } ->
+      Format.fprintf ppf "mask-out %a" Net.Node_id.pp target
+  | Mask_ack { target } -> Format.fprintf ppf "mask-ack %a" Net.Node_id.pp target
+  | Mask_done { target } ->
+      Format.fprintf ppf "mask-done %a" Net.Node_id.pp target

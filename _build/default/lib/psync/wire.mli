@@ -1,0 +1,17 @@
+(** PDUs of the Psync baseline [PBS89]. *)
+
+type 'a body =
+  | Msg of 'a Context_graph.node
+      (** a conversation message carrying its direct predecessors *)
+  | Retrans_req of { requester : Net.Node_id.t; wanted : Context_graph.mid }
+  | Retrans_reply of 'a Context_graph.node
+  | Keepalive
+  | Mask_out of { target : Net.Node_id.t; initiator : Net.Node_id.t }
+  | Mask_ack of { target : Net.Node_id.t }
+  | Mask_done of { target : Net.Node_id.t }
+
+val body_size : 'a body -> int
+
+val kind : 'a body -> Net.Traffic.kind
+
+val pp_body : Format.formatter -> 'a body -> unit

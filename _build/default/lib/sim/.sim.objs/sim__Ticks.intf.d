@@ -1,0 +1,1 @@
+lib/sim/ticks.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/tracer.ml: Format List Queue Seq Ticks

@@ -1,0 +1,1 @@
+lib/sim/tracer.mli: Format Ticks

@@ -1,0 +1,57 @@
+type event = { mutable cancelled : bool; callback : unit -> unit }
+
+type handle = event
+
+type t = {
+  mutable now : Ticks.t;
+  mutable next_seq : int;
+  mutable stopped : bool;
+  queue : event Heap.t;
+}
+
+let create () =
+  { now = Ticks.zero; next_seq = 0; stopped = false; queue = Heap.create () }
+
+let now t = t.now
+
+let pending t = Heap.length t.queue
+
+let schedule t ~at callback =
+  if Ticks.compare at t.now < 0 then
+    invalid_arg "Engine.schedule: event in the past";
+  let event = { cancelled = false; callback } in
+  Heap.push t.queue ~time:at ~seq:t.next_seq event;
+  t.next_seq <- t.next_seq + 1;
+  event
+
+let schedule_after t ~delay callback =
+  schedule t ~at:(Ticks.add t.now delay) callback
+
+let cancel event = event.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _seq, event) ->
+      t.now <- time;
+      if not event.cancelled then event.callback ();
+      true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue () =
+    if t.stopped then false
+    else
+      match until, Heap.peek t.queue with
+      | _, None -> false
+      | None, Some _ -> true
+      | Some limit, Some (time, _, _) -> Ticks.(time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when (not t.stopped) && Ticks.(t.now < limit) -> t.now <- limit
+  | Some _ | None -> ()
+
+let stop t = t.stopped <- true

@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    Callbacks are executed in nondecreasing time order; events scheduled for
+    the same instant run in the order they were scheduled, which makes runs
+    deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled before it fires. *)
+
+val create : unit -> t
+
+val now : t -> Ticks.t
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet popped). *)
+
+val schedule : t -> at:Ticks.t -> (unit -> unit) -> handle
+(** Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> delay:Ticks.t -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val step : t -> bool
+(** Runs the next event.  Returns [false] when the queue is empty. *)
+
+val run : ?until:Ticks.t -> t -> unit
+(** Runs events until the queue empties, or past [until] (events strictly
+    later than [until] stay queued and the clock advances to [until]). *)
+
+val stop : t -> unit
+(** Makes the current [run] return after the executing event completes. *)

@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(Ticks.t, int)].
+
+    The integer component is an insertion sequence number supplied by the
+    caller; it breaks ties deterministically so that two events scheduled for
+    the same instant fire in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:Ticks.t -> seq:int -> 'a -> unit
+
+val peek : 'a t -> (Ticks.t * int * 'a) option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> (Ticks.t * int * 'a) option
+(** Removes and returns the smallest element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (int64 t) mask) in
+    (* Rejection sampling to avoid modulo bias. *)
+    let r = v mod bound in
+    if v - r + (bound - 1) < 0 then draw () else r
+  in
+  draw ()
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let geometric t ~p =
+  if p >= 1.0 then 0
+  else if p <= 0.0 then invalid_arg "Rng.geometric: p must be positive"
+  else
+    let u = float t 1.0 in
+    int_of_float (Float.floor (log (1.0 -. u) /. log (1.0 -. p)))

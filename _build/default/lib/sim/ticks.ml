@@ -1,0 +1,36 @@
+type t = int
+
+let zero = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Ticks.of_int: negative" else n
+
+let to_int t = t
+
+let per_rtd = 100
+
+let of_rtd x =
+  if x < 0.0 then invalid_arg "Ticks.of_rtd: negative"
+  else int_of_float (Float.round (x *. float_of_int per_rtd))
+
+let to_rtd t = float_of_int t /. float_of_int per_rtd
+
+let round = per_rtd / 2
+
+let subrun = per_rtd
+
+let add a b = a + b
+
+let diff a b =
+  if a < b then invalid_arg "Ticks.diff: negative result" else a - b
+
+let mul t k =
+  if k < 0 then invalid_arg "Ticks.mul: negative factor" else t * k
+
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : t) (b : t) = a <= b
+let ( < ) (a : t) (b : t) = a < b
+let ( >= ) (a : t) (b : t) = a >= b
+
+let pp ppf t = Format.fprintf ppf "%.2frtd" (to_rtd t)

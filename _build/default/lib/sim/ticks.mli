@@ -1,0 +1,43 @@
+(** Simulated time.
+
+    Time is counted in integer [ticks]; by convention [per_rtd] ticks make one
+    round-trip delay ([rtd]), the time unit the paper reports results in.  One
+    protocol round is half an rtd and one subrun is a full rtd. *)
+
+type t = private int
+
+val zero : t
+
+val of_int : int -> t
+(** [of_int n] is [n] ticks.  Raises [Invalid_argument] if [n < 0]. *)
+
+val to_int : t -> int
+
+val per_rtd : int
+(** Number of ticks in one round-trip delay (100). *)
+
+val of_rtd : float -> t
+(** [of_rtd x] is the tick count closest to [x] round-trip delays. *)
+
+val to_rtd : t -> float
+(** [to_rtd t] expresses [t] in round-trip delays. *)
+
+val round : t
+(** Duration of one protocol round: half an rtd. *)
+
+val subrun : t
+(** Duration of one subrun: one rtd (two rounds). *)
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b].  Raises [Invalid_argument] if negative. *)
+
+val mul : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a decimal number of rtds, e.g. [3.50rtd]. *)

@@ -1,0 +1,35 @@
+type event = { time : Ticks.t; source : string; message : string }
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable total : int;
+  queue : event Queue.t;
+}
+
+let create ?(capacity = 65536) () =
+  { enabled = true; capacity; total = 0; queue = Queue.create () }
+
+let null = { enabled = false; capacity = 0; total = 0; queue = Queue.create () }
+
+let emit t ~time ~source message =
+  if t.enabled then begin
+    t.total <- t.total + 1;
+    Queue.push { time; source; message } t.queue;
+    if Queue.length t.queue > t.capacity then ignore (Queue.pop t.queue)
+  end
+
+let emitf t ~time ~source fmt =
+  Format.kasprintf (fun message -> emit t ~time ~source message) fmt
+
+let events t = List.of_seq (Queue.to_seq t.queue)
+
+let count t = t.total
+
+let find t ~f = Seq.find f (Queue.to_seq t.queue)
+
+let pp_event ppf { time; source; message } =
+  Format.fprintf ppf "[%a] %-12s %s" Ticks.pp time source message
+
+let dump ppf t =
+  Queue.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) t.queue

@@ -1,0 +1,33 @@
+(** Structured trace of simulation events.
+
+    A tracer is an optional sink that components write human-readable events
+    to; it is used by the examples to narrate runs and by tests to assert on
+    behaviour without coupling to internal state. *)
+
+type t
+
+type event = { time : Ticks.t; source : string; message : string }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of retained events (default 65536); older
+    events are dropped first. *)
+
+val null : t
+(** A tracer that discards everything. *)
+
+val emit : t -> time:Ticks.t -> source:string -> string -> unit
+
+val emitf :
+  t -> time:Ticks.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val count : t -> int
+(** Total number of events emitted, including dropped ones. *)
+
+val find : t -> f:(event -> bool) -> event option
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+let urcgc_control_msgs_reliable ~n = 2 * (n - 1)
+
+let urcgc_control_msgs_crash ~n ~k ~f = 2 * ((2 * k) + f) * (n - 1)
+
+let cbcast_control_msgs_reliable ~n = n + 1
+
+let cbcast_control_msgs_crash ~n ~k ~f = k * (((f + 1) * ((2 * n) - 3)) + 1)
+
+let cbcast_msg_size_reliable ~n = 4 * (n + 1)
+
+let cbcast_flush_size ~n = 4 * (n - 1)
+
+let urcgc_recovery_time ~k ~f = (2 * k) + f
+
+let cbcast_recovery_time ~k ~f = k * ((5 * f) + 6)
+
+let urcgc_history_bound ~n ~k ~f = 2 * ((2 * k) + f) * n
+
+let urcgc_history_bound_reliable ~n = 2 * n
+
+let ip_min_datagram = 576
+
+let ethernet_max_payload = 1500

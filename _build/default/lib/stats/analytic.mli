@@ -1,0 +1,43 @@
+(** Closed-form cost models stated in the paper (Section 6, Table 1,
+    Figure 5).  These sit next to the measured values in the benchmark
+    output so the shapes can be compared directly. *)
+
+val urcgc_control_msgs_reliable : n:int -> int
+(** Per subrun: [2(n-1)] — every process sends a request, the coordinator
+    broadcasts a decision, even when no failures occur. *)
+
+val urcgc_control_msgs_crash : n:int -> k:int -> f:int -> int
+(** Over a whole crash-recovery episode: [2(2K+f)(n-1)]. *)
+
+val cbcast_control_msgs_reliable : n:int -> int
+(** Per stability round: [(n+1)] piggyback/stability messages. *)
+
+val cbcast_control_msgs_crash : n:int -> k:int -> f:int -> int
+(** Flush traffic per view change: [K((f+1)(2n-3)+1)]. *)
+
+val cbcast_msg_size_reliable : n:int -> int
+(** [4(n+1)] bytes: a vector timestamp plus sender/length words. *)
+
+val cbcast_flush_size : n:int -> int
+(** [4(n-1)] bytes per flush message. *)
+
+val urcgc_recovery_time : k:int -> f:int -> int
+(** Subruns (= rtds) needed to decide group composition and message
+    stability after failures: [2K + f]. *)
+
+val cbcast_recovery_time : k:int -> f:int -> int
+(** Equivalent cost for CBCAST's view-change/flush: [K(5f+6)] rtds, during
+    which message processing is suspended. *)
+
+val urcgc_history_bound : n:int -> k:int -> f:int -> int
+(** Worst-case messages resident in the history while an agreement is
+    pending: [2(2K+f)n]. *)
+
+val urcgc_history_bound_reliable : n:int -> int
+(** Without failures no more than [2n] messages are stored. *)
+
+val ip_min_datagram : int
+(** 576 bytes: the paper's reference for "fits into a single IP datagram". *)
+
+val ethernet_max_payload : int
+(** 1500 bytes. *)

@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = { columns : (string * align) list; mutable rows : row list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pp ppf t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i (header, _) ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Rule -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let pad align width s =
+    let fill = width - String.length s in
+    if fill <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ s
+  in
+  let print_cells cells =
+    let parts =
+      List.map2
+        (fun (cell, (_, align)) width -> pad align width cell)
+        (List.combine cells t.columns)
+        widths
+    in
+    Format.fprintf ppf "| %s |" (String.concat " | " parts);
+    Format.pp_print_newline ppf ()
+  in
+  let rule () =
+    let parts = List.map (fun width -> String.make width '-') widths in
+    Format.fprintf ppf "+-%s-+" (String.concat "-+-" parts);
+    Format.pp_print_newline ppf ()
+  in
+  rule ();
+  print_cells (List.map fst t.columns);
+  rule ();
+  List.iter (function Cells cells -> print_cells cells | Rule -> rule ()) rows;
+  rule ()
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

@@ -1,0 +1,18 @@
+(** Aligned text tables for benchmark output. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count does not match the columns. *)
+
+val add_rule : t -> unit
+(** Horizontal separator. *)
+
+val pp : Format.formatter -> t -> unit
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string

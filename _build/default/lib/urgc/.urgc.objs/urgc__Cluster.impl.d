@@ -1,0 +1,1 @@
+lib/urgc/cluster.ml: Array Causal Format Hashtbl List Member Net Option Sim Total_decision Total_wire

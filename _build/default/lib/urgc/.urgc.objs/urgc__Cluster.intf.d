@@ -1,0 +1,1 @@
+lib/urgc/cluster.mli: Causal Member Net Sim Total_wire

@@ -1,0 +1,1 @@
+lib/urgc/member.ml: Array Causal Hashtbl List Net Option Queue Total_coordinator Total_decision Total_wire Urcgc

@@ -1,0 +1,1 @@
+lib/urgc/member.mli: Net Total_decision Total_wire

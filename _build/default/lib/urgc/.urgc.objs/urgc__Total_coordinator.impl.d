@@ -1,0 +1,1 @@
+lib/urgc/total_coordinator.ml: Array Causal List Net Seq Total_decision Total_wire

@@ -1,0 +1,1 @@
+lib/urgc/total_coordinator.mli: Net Total_decision Total_wire

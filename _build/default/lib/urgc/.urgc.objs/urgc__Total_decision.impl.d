@@ -1,0 +1,1 @@
+lib/urgc/total_decision.ml: Array Causal Format Net

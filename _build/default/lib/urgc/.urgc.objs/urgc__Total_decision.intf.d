@@ -1,0 +1,1 @@
+lib/urgc/total_decision.mli: Causal Format Net

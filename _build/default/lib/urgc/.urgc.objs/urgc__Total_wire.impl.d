@@ -1,0 +1,1 @@
+lib/urgc/total_wire.ml: Causal Format List Net Total_decision

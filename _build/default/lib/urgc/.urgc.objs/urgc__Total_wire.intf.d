@@ -1,0 +1,1 @@
+lib/urgc/total_wire.mli: Causal Format Net Total_decision

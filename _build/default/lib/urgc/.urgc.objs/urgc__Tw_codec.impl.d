@@ -1,0 +1,1 @@
+lib/urgc/tw_codec.ml: Array Bytes Causal List Net Printf Total_decision Total_wire

@@ -1,0 +1,1 @@
+lib/urgc/tw_codec.mli: Net Total_wire

@@ -1,0 +1,184 @@
+type 'a delivery = {
+  node : Net.Node_id.t;
+  seq : int;
+  data : 'a Total_wire.data;
+  at : Sim.Ticks.t;
+}
+
+type 'a t = {
+  n : int;
+  net : 'a Total_wire.body Net.Netsim.t;
+  tracer : Sim.Tracer.t;
+  members : 'a Member.t array;
+  mutable round : int;
+  mutable started : bool;
+  mutable round_callbacks : (round:int -> unit) list;
+  mutable deliveries : 'a delivery list;
+  mutable generations : (Causal.Mid.t * Sim.Ticks.t) list;
+  mutable departures : (Net.Node_id.t * Member.reason * Sim.Ticks.t) list;
+}
+
+let engine t = Net.Netsim.engine t.net
+let now t = Sim.Engine.now (engine t)
+let crashed t node = Net.Fault.crashed (Net.Netsim.fault t.net) ~now:(now t) node
+
+let alive_dsts t member =
+  let d = Member.latest_decision member in
+  let self = Member.id member in
+  let dsts = ref [] in
+  for i = t.n - 1 downto 0 do
+    if d.Total_decision.alive.(i) && i <> Net.Node_id.to_int self then
+      dsts := Net.Node_id.of_int i :: !dsts
+  done;
+  !dsts
+
+let execute t member action =
+  let self = Member.id member in
+  match action with
+  | Member.Broadcast body ->
+      (match body with
+      | Total_wire.Data data ->
+          t.generations <- (data.Total_wire.mid, now t) :: t.generations
+      | Total_wire.Request _ | Total_wire.Decision_pdu _
+      | Total_wire.Recover_req _ | Total_wire.Recover_reply _ ->
+          ());
+      Net.Netsim.multicast t.net ~src:self ~dsts:(alive_dsts t member)
+        ~kind:(Total_wire.kind body) ~size:(Total_wire.body_size body) body
+  | Member.Send (dst, body) ->
+      Net.Netsim.send t.net ~src:self ~dst ~kind:(Total_wire.kind body)
+        ~size:(Total_wire.body_size body) body
+  | Member.Processed (seq, data) ->
+      t.deliveries <- { node = self; seq; data; at = now t } :: t.deliveries
+  | Member.Left why ->
+      t.departures <- (self, why, now t) :: t.departures;
+      Sim.Tracer.emitf t.tracer ~time:(now t)
+        ~source:(Format.asprintf "%a" Net.Node_id.pp self)
+        "left the group: %s"
+        (Member.reason_to_string why)
+
+let execute_all t member actions = List.iter (execute t member) actions
+
+let create ?(tracer = Sim.Tracer.null) ?silence_limit ~n ~k ~net () =
+  let members =
+    Array.init n (fun i -> Member.create ?silence_limit ~n ~k (Net.Node_id.of_int i))
+  in
+  let t =
+    {
+      n;
+      net;
+      tracer;
+      members;
+      round = 0;
+      started = false;
+      round_callbacks = [];
+      deliveries = [];
+      generations = [];
+      departures = [];
+    }
+  in
+  Array.iter
+    (fun member ->
+      Net.Netsim.attach net (Member.id member)
+        (fun (packet : _ Net.Netsim.packet) ->
+          if not (crashed t (Member.id member)) then
+            execute_all t member (Member.handle member packet.payload)))
+    members;
+  t
+
+let run_round t =
+  let subrun = t.round / 2 in
+  Array.iter
+    (fun member ->
+      if not (crashed t (Member.id member)) then
+        let actions =
+          if t.round mod 2 = 0 then Member.begin_subrun member ~subrun
+          else Member.mid_subrun member ~subrun
+        in
+        execute_all t member actions)
+    t.members;
+  t.round <- t.round + 1;
+  List.iter
+    (fun callback -> callback ~round:(t.round - 1))
+    (List.rev t.round_callbacks)
+
+let start t =
+  if t.started then invalid_arg "Cluster.start: already started";
+  t.started <- true;
+  let rec tick () =
+    run_round t;
+    ignore (Sim.Engine.schedule_after (engine t) ~delay:Sim.Ticks.round tick)
+  in
+  ignore (Sim.Engine.schedule_after (engine t) ~delay:Sim.Ticks.zero tick)
+
+let submit ?size t node payload =
+  Member.submit ?size t.members.(Net.Node_id.to_int node) payload
+
+let member t node = t.members.(Net.Node_id.to_int node)
+let members t = Array.to_list t.members
+
+let on_round t callback = t.round_callbacks <- callback :: t.round_callbacks
+
+let deliveries t = List.rev t.deliveries
+let generations t = List.rev t.generations
+let departures t = List.rev t.departures
+let subrun t = t.round / 2
+
+let active_members t =
+  Array.to_list t.members
+  |> List.filter_map (fun member ->
+         let node = Member.id member in
+         if Member.active member && not (crashed t node) then Some node
+         else None)
+
+let quiescent t =
+  let actives =
+    Array.to_list t.members
+    |> List.filter (fun member ->
+           Member.active member && not (crashed t (Member.id member)))
+  in
+  match actives with
+  | [] -> true
+  | first :: rest ->
+      List.for_all
+        (fun member ->
+          Member.sap_backlog member = 0 && Member.pool_size member = 0)
+        actives
+      && List.for_all
+           (fun member ->
+             Member.processed_upto member = Member.processed_upto first)
+           rest
+
+let total_order_ok t =
+  (* Rebuild each active process's processing log and compare: they must be
+     prefix-compatible and, at quiescence, identical. *)
+  let actives = Net.Node_id.Set.of_list (active_members t) in
+  let logs = Hashtbl.create 16 in
+  List.iter
+    (fun { node; seq; data; _ } ->
+      if Net.Node_id.Set.mem node actives then begin
+        let log = Option.value ~default:[] (Hashtbl.find_opt logs node) in
+        Hashtbl.replace logs node ((seq, data.Total_wire.mid) :: log)
+      end)
+    (List.rev t.deliveries);
+  let ordered =
+    Hashtbl.fold (fun _ log acc -> List.rev log :: acc) logs []
+  in
+  match ordered with
+  | [] -> true
+  | first :: rest ->
+      (* Sequence numbers must be 1..len gap-free and bind the same mids at
+         every process. *)
+      let well_formed log =
+        List.for_all2
+          (fun expected (seq, _) -> expected = seq)
+          (List.init (List.length log) (fun i -> i + 1))
+          log
+      in
+      let rec prefix_equal a b =
+        match (a, b) with
+        | [], _ | _, [] -> true
+        | (sa, ma) :: ta, (sb, mb) :: tb ->
+            sa = sb && Causal.Mid.equal ma mb && prefix_equal ta tb
+      in
+      List.for_all well_formed ordered
+      && List.for_all (fun log -> prefix_equal first log) rest

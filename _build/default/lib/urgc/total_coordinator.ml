@@ -1,0 +1,102 @@
+let merge_prev prev requests =
+  List.fold_left
+    (fun best (r : Total_wire.request) ->
+      if Total_decision.newer r.prev_decision ~than:best then r.prev_decision
+      else best)
+    prev requests
+
+let compute ~n ~k ~subrun ~coordinator ~prev ~requests =
+  let got_request = Array.make n false in
+  List.iter
+    (fun (r : Total_wire.request) ->
+      got_request.(Net.Node_id.to_int r.sender) <- true)
+    requests;
+  (* Membership: identical rule to urcgc. *)
+  let attempts = Array.copy prev.Total_decision.attempts in
+  let alive = Array.copy prev.Total_decision.alive in
+  for i = 0 to n - 1 do
+    if alive.(i) then
+      if got_request.(i) then attempts.(i) <- 0
+      else begin
+        attempts.(i) <- attempts.(i) + 1;
+        if attempts.(i) >= k then alive.(i) <- false
+      end
+  done;
+  (* Sequencing: append every reported mid not already in the window, in
+     deterministic mid order.  Mids below the window were processed by every
+     active process, so no live process reports them as unsequenced. *)
+  let fresh =
+    List.concat_map (fun (r : Total_wire.request) -> r.Total_wire.unsequenced)
+      requests
+    |> List.sort_uniq Causal.Mid.compare
+    |> List.filter (fun mid -> not (Total_decision.is_assigned prev mid))
+  in
+  let assignments = Array.append prev.assignments (Array.of_list fresh) in
+  let next_seq = prev.next_seq + List.length fresh in
+  (* Stability: accumulate the per-process processed_upto over the heard
+     cycle; on full coverage the minimum becomes the stable cut and the
+     window head is trimmed. *)
+  let heard = Array.copy prev.Total_decision.heard in
+  let acc_processed = Array.copy prev.Total_decision.acc_processed in
+  List.iter
+    (fun (r : Total_wire.request) ->
+      let i = Net.Node_id.to_int r.sender in
+      heard.(i) <- true;
+      if r.processed_upto < acc_processed.(i) then
+        acc_processed.(i) <- r.processed_upto)
+    requests;
+  let full_group =
+    let covered = ref true in
+    for i = 0 to n - 1 do
+      if alive.(i) && not heard.(i) then covered := false
+    done;
+    !covered
+  in
+  if full_group then begin
+    let stable_seq =
+      Array.to_seqi acc_processed
+      |> Seq.fold_left
+           (fun acc (i, v) -> if alive.(i) && v < acc then v else acc)
+           max_int
+    in
+    let stable_seq =
+      if stable_seq = max_int then prev.stable_seq
+      else max prev.stable_seq stable_seq
+    in
+    (* Trim the window below the stable cut. *)
+    let drop = max 0 (stable_seq + 1 - prev.first_assigned) in
+    let drop = min drop (Array.length assignments) in
+    let assignments = Array.sub assignments drop (Array.length assignments - drop) in
+    let first_assigned = prev.first_assigned + drop in
+    (* Restart the accumulator empty (see Urcgc.Coordinator: re-seeding
+       with this subrun's values would keep stability one subrun stale). *)
+    let heard' = Array.make n false in
+    let acc' = Array.make n max_int in
+    {
+      Total_decision.subrun;
+      coordinator;
+      next_seq;
+      first_assigned;
+      assignments;
+      stable_seq;
+      full_group = true;
+      attempts;
+      alive;
+      heard = heard';
+      acc_processed = acc';
+    }
+  end
+  else
+    {
+      Total_decision.subrun;
+      coordinator;
+      next_seq;
+      first_assigned = prev.first_assigned;
+      assignments;
+      stable_seq = prev.stable_seq;
+      full_group = false;
+      attempts;
+      alive;
+      heard;
+      acc_processed;
+    }

@@ -1,0 +1,18 @@
+(** Pure decision making for the total-order companion algorithm.
+
+    Same rotating-coordinator skeleton as {!Urcgc.Coordinator}, but the
+    decision {e assigns} the global processing order: every message id
+    reported as unsequenced is appended to the assignment window in a
+    deterministic order. *)
+
+val compute :
+  n:int ->
+  k:int ->
+  subrun:int ->
+  coordinator:Net.Node_id.t ->
+  prev:Total_decision.t ->
+  requests:Total_wire.request list ->
+  Total_decision.t
+
+val merge_prev :
+  Total_decision.t -> Total_wire.request list -> Total_decision.t

@@ -1,0 +1,59 @@
+type t = {
+  subrun : int;
+  coordinator : Net.Node_id.t;
+  next_seq : int;
+  first_assigned : int;
+  assignments : Causal.Mid.t array;
+  stable_seq : int;
+  full_group : bool;
+  attempts : int array;
+  alive : bool array;
+  heard : bool array;
+  acc_processed : int array;
+}
+
+let initial ~n =
+  if n <= 0 then invalid_arg "Total_decision.initial: n must be positive";
+  {
+    subrun = -1;
+    coordinator = Net.Node_id.of_int 0;
+    next_seq = 1;
+    first_assigned = 1;
+    assignments = [||];
+    stable_seq = 0;
+    full_group = false;
+    attempts = Array.make n 0;
+    alive = Array.make n true;
+    heard = Array.make n false;
+    acc_processed = Array.make n max_int;
+  }
+
+let newer t ~than = t.subrun > than.subrun
+
+let assignment t seq =
+  let index = seq - t.first_assigned in
+  if seq >= t.first_assigned && index < Array.length t.assignments then
+    Some t.assignments.(index)
+  else None
+
+let is_assigned t mid = Array.exists (Causal.Mid.equal mid) t.assignments
+
+let encoded_size t =
+  let n = Array.length t.attempts in
+  let bitmap = (n + 7) / 8 in
+  (* subrun, coordinator, next_seq, first_assigned, stable_seq, flags *)
+  4 + 4 + 4 + 4 + 4 + 1
+  (* the assignment window: one mid each *)
+  + (Causal.Mid.encoded_size * Array.length t.assignments)
+  (* attempts + acc_processed *)
+  + (2 * n) + (4 * n)
+  (* alive + heard bitmaps *)
+  + (2 * bitmap)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v 2>total-decision{subrun=%d; coord=%a; next=%d; window=%d@%d; \
+     stable=%d; full=%b}@]"
+    t.subrun Net.Node_id.pp t.coordinator t.next_seq
+    (Array.length t.assignments)
+    t.first_assigned t.stable_seq t.full_group

@@ -1,0 +1,37 @@
+(** The urgc coordinator's decision: the global processing order.
+
+    [assignments] is the recent window of (global sequence -> message id)
+    bindings; [first_assigned] is the sequence number of its head.  The
+    window is cumulative over recent subruns so a process that missed one
+    decision learns the bindings from the next (the same circulation
+    resilience as urcgc's decisions); bindings below the group's stable
+    point are dropped from the window. *)
+
+type t = {
+  subrun : int;
+  coordinator : Net.Node_id.t;
+  next_seq : int;  (** first unassigned global sequence number *)
+  first_assigned : int;  (** global seq of [assignments]'s head; >= 1 *)
+  assignments : Causal.Mid.t array;  (** window of assigned mids *)
+  stable_seq : int;  (** all actives processed up to here; history cut *)
+  full_group : bool;
+  attempts : int array;
+  alive : bool array;
+  heard : bool array;
+  acc_processed : int array;  (** per-process processed_upto this cycle *)
+}
+
+val initial : n:int -> t
+
+val newer : t -> than:t -> bool
+
+val assignment : t -> int -> Causal.Mid.t option
+(** [assignment d seq] is the mid bound to global sequence [seq], if the
+    window covers it. *)
+
+val is_assigned : t -> Causal.Mid.t -> bool
+(** The mid appears in the current window. *)
+
+val encoded_size : t -> int
+
+val pp : Format.formatter -> t -> unit

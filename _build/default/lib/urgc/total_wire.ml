@@ -1,0 +1,50 @@
+type 'a data = {
+  mid : Causal.Mid.t;
+  payload : 'a;
+  payload_size : int;
+}
+
+type request = {
+  sender : Net.Node_id.t;
+  subrun : int;
+  unsequenced : Causal.Mid.t list;
+  processed_upto : int;
+  prev_decision : Total_decision.t;
+}
+
+type 'a body =
+  | Data of 'a data
+  | Request of request
+  | Decision_pdu of Total_decision.t
+  | Recover_req of { requester : Net.Node_id.t; from_seq : int; to_seq : int }
+  | Recover_reply of { responder : Net.Node_id.t; messages : (int * 'a data) list }
+
+let data_size d = Causal.Mid.encoded_size + 4 + d.payload_size
+
+let body_size = function
+  | Data d -> data_size d
+  | Request r ->
+      4 + 4 + 4
+      + (Causal.Mid.encoded_size * List.length r.unsequenced)
+      + Total_decision.encoded_size r.prev_decision
+  | Decision_pdu d -> 4 + Total_decision.encoded_size d
+  | Recover_req _ -> 16
+  | Recover_reply { messages; _ } ->
+      8 + List.fold_left (fun acc (_, d) -> acc + 4 + data_size d) 0 messages
+
+let kind = function
+  | Data _ -> Net.Traffic.Data
+  | Request _ | Decision_pdu _ -> Net.Traffic.Control
+  | Recover_req _ | Recover_reply _ -> Net.Traffic.Recovery
+
+let pp_body ppf = function
+  | Data d -> Format.fprintf ppf "data %a" Causal.Mid.pp d.mid
+  | Request r ->
+      Format.fprintf ppf "request from %a (subrun %d, %d unsequenced)"
+        Net.Node_id.pp r.sender r.subrun
+        (List.length r.unsequenced)
+  | Decision_pdu d -> Total_decision.pp ppf d
+  | Recover_req { from_seq; to_seq; _ } ->
+      Format.fprintf ppf "recover-req seq %d..%d" from_seq to_seq
+  | Recover_reply { messages; _ } ->
+      Format.fprintf ppf "recover-reply (%d msgs)" (List.length messages)

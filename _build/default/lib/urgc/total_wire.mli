@@ -1,0 +1,36 @@
+(** PDUs of the urgc companion algorithm [APR93] — the authors' solution to
+    the Uniform Reliable Group Communication problem with {e total} ordering,
+    which Section 2 of the paper contrasts with urcgc's causal service.
+
+    The structure mirrors urcgc (rounds, subruns, rotating coordinator,
+    piggybacked decisions) but the coordinator's decision {e assigns} the
+    processing order instead of checking an application-supplied one: "all
+    the members of G consistently decide on the same progressive order to
+    process messages". *)
+
+type 'a data = {
+  mid : Causal.Mid.t;  (** origin + origin-local sequence number *)
+  payload : 'a;
+  payload_size : int;
+}
+
+type request = {
+  sender : Net.Node_id.t;
+  subrun : int;
+  unsequenced : Causal.Mid.t list;
+      (** received data messages not yet given a global order *)
+  processed_upto : int;  (** highest global sequence processed *)
+  prev_decision : Total_decision.t;
+}
+
+type 'a body =
+  | Data of 'a data
+  | Request of request
+  | Decision_pdu of Total_decision.t
+  | Recover_req of { requester : Net.Node_id.t; from_seq : int; to_seq : int }
+  | Recover_reply of { responder : Net.Node_id.t; messages : (int * 'a data) list }
+
+val data_size : 'a data -> int
+val body_size : 'a body -> int
+val kind : 'a body -> Net.Traffic.kind
+val pp_body : Format.formatter -> 'a body -> unit

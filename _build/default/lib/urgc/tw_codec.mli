@@ -1,0 +1,9 @@
+(** Binary codec for the urgc (total-order) PDUs; encoded lengths equal
+    {!Total_wire.body_size}, decoding is total. *)
+
+val encode_body : 'a Net.Bytebuf.codec -> 'a Total_wire.body -> bytes
+(** Raises [Invalid_argument] when a field exceeds its wire width or a
+    payload encoding disagrees with the declared [payload_size]. *)
+
+val decode_body :
+  'a Net.Bytebuf.codec -> n:int -> bytes -> ('a Total_wire.body, string) result

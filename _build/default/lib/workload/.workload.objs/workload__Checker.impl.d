@@ -1,0 +1,1 @@
+lib/workload/checker.ml: Causal Format Hashtbl List Net Sim Urcgc

@@ -1,0 +1,1 @@
+lib/workload/checker.mli: Format Urcgc

@@ -1,0 +1,1 @@
+lib/workload/load.ml: Format Net

@@ -1,0 +1,1 @@
+lib/workload/load.mli: Format Net

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Bytes Causal Checker Float Format Int64 List Load Net Scenario Sim Stats Urcgc

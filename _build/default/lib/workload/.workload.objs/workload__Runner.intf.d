@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Checker Format Scenario Sim Stats Urcgc

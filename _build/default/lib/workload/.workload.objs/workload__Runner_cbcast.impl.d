@@ -1,0 +1,1 @@
+lib/workload/runner_cbcast.ml: Cbcast Float Format Hashtbl List Load Net Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/runner_cbcast.mli: Format Load Net Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/runner_psync.ml: Float Format Hashtbl List Load Net Psync Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/runner_psync.mli: Format Load Net Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Format Load Net Sim Urcgc

@@ -1,0 +1,24 @@
+(** Post-run verification of the URCGC correctness clauses (Definition 3.2).
+
+    The checker replays the recorded processing events and verifies:
+    - {b causal ordering}: at every process, every processed message was
+      processable at the moment it was processed (its origin chain was
+      gap-free and all explicit dependencies already processed);
+    - {b uniform atomicity} among survivors: all processes active at the end
+      of the run processed exactly the same set of messages;
+    - {b no zombie processing}: a message discarded by group agreement was
+      never processed by a surviving process;
+    - {b view agreement}: all surviving processes hold the same group view
+      (Section 4, assumption 4). *)
+
+type verdict = {
+  causal_ok : bool;
+  atomicity_ok : bool;
+  violations : string list;  (** human-readable description of each failure *)
+}
+
+val ok : verdict -> bool
+
+val check : 'a Urcgc.Cluster.t -> verdict
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,25 @@
+type deps_mode = Frontier | Own_chain | Random_frontier of float
+
+type t = {
+  rate : float;
+  total_messages : int option;
+  payload_size : int;
+  deps_mode : deps_mode;
+  senders : Net.Node_id.t list option;
+}
+
+let make ?total_messages ?(payload_size = 64) ?(deps_mode = Frontier) ?senders
+    ~rate () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Load.make: rate must be in [0,1]";
+  if payload_size < 0 then invalid_arg "Load.make: negative payload size";
+  (match total_messages with
+  | Some cap when cap < 0 -> invalid_arg "Load.make: negative message cap"
+  | Some _ | None -> ());
+  { rate; total_messages; payload_size; deps_mode; senders }
+
+let pp ppf t =
+  Format.fprintf ppf "{rate=%.2f; cap=%a; payload=%dB}" t.rate
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "none")
+       Format.pp_print_int)
+    t.total_messages t.payload_size

@@ -1,0 +1,38 @@
+(** Offered-load model.
+
+    Processes generate messages at round boundaries; the offered load is the
+    per-process probability of submitting a new message at each round —
+    1.0 saturates the paper's maximum service rate of one message per round
+    per process. *)
+
+type deps_mode =
+  | Frontier
+      (** a message depends on the last processed message of every other
+          origin — the densest labelling (temporal causality) *)
+  | Own_chain
+      (** no explicit dependencies: sequences are fully concurrent and only
+          the per-origin chains order messages *)
+  | Random_frontier of float
+      (** each frontier entry is kept with the given probability — models
+          applications that declare only the significant dependencies *)
+
+type t = {
+  rate : float;  (** per-process submission probability per round *)
+  total_messages : int option;  (** global cap on generated messages *)
+  payload_size : int;
+  deps_mode : deps_mode;
+  senders : Net.Node_id.t list option;  (** [None] = everybody *)
+}
+
+val make :
+  ?total_messages:int ->
+  ?payload_size:int ->
+  ?deps_mode:deps_mode ->
+  ?senders:Net.Node_id.t list ->
+  rate:float ->
+  unit ->
+  t
+(** Defaults: no cap, 64-byte payloads, [Frontier], all processes.
+    Raises [Invalid_argument] if [rate] is outside [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

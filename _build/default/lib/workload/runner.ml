@@ -1,0 +1,236 @@
+type report = {
+  scenario : Scenario.t;
+  generated : int;
+  delivered_remote : int;
+  delay : Stats.Summary.t;
+  completion_rtd : float;
+  subruns : int;
+  control_msgs : int;
+  control_bytes : int;
+  control_mean_size : float;
+  control_max_size : int;
+  data_msgs : int;
+  data_bytes : int;
+  recovery_msgs : int;
+  recovery_bytes : int;
+  history_peak : int;
+  history_series : (int * int) list;
+  waiting_peak : int;
+  departures : Urcgc.Cluster.departure list;
+  discarded : int;
+  fragments : int;
+  verdict : Checker.verdict;
+}
+
+(* Workload injection: fires after every round, submits according to the load
+   model, and reports whether the global cap has been reached. *)
+let make_injector (scenario : Scenario.t) cluster rng =
+  let load = scenario.load in
+  (* Over the codec boundary the int payloads encode to exactly 8 bytes, and
+     the codec refuses size lies. *)
+  let payload_size =
+    if scenario.codec_boundary then 8 else load.Load.payload_size
+  in
+  let senders =
+    match load.Load.senders with
+    | Some senders -> senders
+    | None -> Net.Node_id.group scenario.config.Urcgc.Config.n
+  in
+  let produced = ref 0 in
+  let cap_reached () =
+    match load.Load.total_messages with
+    | None -> false
+    | Some cap -> !produced >= cap
+  in
+  let deps_for node =
+    match load.Load.deps_mode with
+    | Load.Frontier -> None
+    | Load.Own_chain -> Some []
+    | Load.Random_frontier p ->
+        let member = Urcgc.Cluster.member cluster node in
+        let n = scenario.config.Urcgc.Config.n in
+        let deps = ref [] in
+        for j = 0 to n - 1 do
+          let origin = Net.Node_id.of_int j in
+          if not (Net.Node_id.equal origin node) then begin
+            let seq = Urcgc.Member.last_processed member origin in
+            if seq > 0 && Sim.Rng.bool rng p then
+              deps := Causal.Mid.make ~origin ~seq :: !deps
+          end
+        done;
+        Some !deps
+  in
+  let inject ~round:_ =
+    List.iter
+      (fun node ->
+        if (not (cap_reached ())) && Sim.Rng.bool rng load.Load.rate then begin
+          let member = Urcgc.Cluster.member cluster node in
+          if Urcgc.Member.active member then begin
+            incr produced;
+            Urcgc.Cluster.submit ?deps:(deps_for node) ~size:payload_size
+              cluster node !produced
+          end
+        end)
+      senders
+  in
+  (inject, cap_reached, produced)
+
+let run ?tracer (scenario : Scenario.t) =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:scenario.seed in
+  let fault = Net.Fault.create scenario.fault ~rng:(Sim.Rng.split rng) in
+  let medium =
+    match scenario.mount with
+    | Scenario.Datagram ->
+        Urcgc.Medium.of_netsim
+          (Net.Netsim.create ?latency:scenario.latency engine ~fault
+             ~rng:(Sim.Rng.split rng) ())
+    | Scenario.Transport h ->
+        Urcgc.Medium.of_transport ~h
+          (Net.Transport.create ?latency:scenario.latency engine ~fault
+             ~rng:(Sim.Rng.split rng) ())
+  in
+  let medium =
+    if scenario.codec_boundary then
+      (* Workload payloads are ints; encode them as fixed-width strings so
+         the declared payload size is honored on the wire. *)
+      let int_codec =
+        {
+          Net.Bytebuf.encode =
+            (fun value ->
+              let raw = Bytes.create 8 in
+              Bytes.set_int64_be raw 0 (Int64.of_int value);
+              raw);
+          decode =
+            (fun raw ->
+              if Bytes.length raw <> 8 then Error "int payload: wrong size"
+              else Ok (Int64.to_int (Bytes.get_int64_be raw 0)));
+        }
+      in
+      Urcgc.Medium.with_codec int_codec medium
+    else medium
+  in
+  let cluster =
+    Urcgc.Cluster.create_with_medium ?tracer ~config:scenario.config ~medium ()
+  in
+  let inject, cap_reached, _produced = make_injector scenario cluster rng in
+  Urcgc.Cluster.on_round cluster inject;
+  (* Sampling: per-round maxima of history and waiting-list lengths. *)
+  let history_series = ref [] in
+  let history_peak = ref 0 in
+  let waiting_peak = ref 0 in
+  Urcgc.Cluster.on_round cluster (fun ~round ->
+      let history_max = ref 0 and waiting_max = ref 0 in
+      List.iter
+        (fun member ->
+          if Urcgc.Member.active member then begin
+            history_max := max !history_max (Urcgc.Member.history_length member);
+            waiting_max := max !waiting_max (Urcgc.Member.waiting_length member)
+          end)
+        (Urcgc.Cluster.members cluster);
+      history_series := (round, !history_max) :: !history_series;
+      history_peak := max !history_peak !history_max;
+      waiting_peak := max !waiting_peak !waiting_max);
+  Urcgc.Cluster.start cluster;
+  (* Advance one rtd at a time until the workload is exhausted and the group
+     is quiescent, or the time cap is hit. *)
+  let max_ticks = Sim.Ticks.of_rtd scenario.max_rtd in
+  let rtd = Sim.Ticks.of_int Sim.Ticks.per_rtd in
+  let rec advance () =
+    let now = Sim.Engine.now engine in
+    if Sim.Ticks.(now >= max_ticks) then ()
+    else begin
+      let target = Sim.Ticks.add now rtd in
+      let target = if Sim.Ticks.(max_ticks < target) then max_ticks else target in
+      Sim.Engine.run engine ~until:target;
+      if cap_reached () && Urcgc.Cluster.quiescent cluster then ()
+      else advance ()
+    end
+  in
+  advance ();
+  (* Reduce the event log to the report. *)
+  let generations = Urcgc.Cluster.generations cluster in
+  let sent_at =
+    List.fold_left
+      (fun acc { Urcgc.Cluster.mid; sent_at; _ } ->
+        Causal.Mid.Map.add mid sent_at acc)
+      Causal.Mid.Map.empty generations
+  in
+  let deliveries = Urcgc.Cluster.deliveries cluster in
+  let remote =
+    List.filter
+      (fun { Urcgc.Cluster.node; msg; _ } ->
+        not (Net.Node_id.equal node (Causal.Mid.origin msg.Causal.Causal_msg.mid)))
+      deliveries
+  in
+  let delays =
+    List.filter_map
+      (fun { Urcgc.Cluster.msg; at; _ } ->
+        match Causal.Mid.Map.find_opt msg.Causal.Causal_msg.mid sent_at with
+        | None -> None
+        | Some t0 -> Some (Sim.Ticks.to_rtd (Sim.Ticks.diff at t0)))
+      remote
+  in
+  let completion_rtd =
+    List.fold_left
+      (fun acc { Urcgc.Cluster.at; _ } -> Float.max acc (Sim.Ticks.to_rtd at))
+      0.0 deliveries
+  in
+  let traffic = Urcgc.Medium.traffic medium in
+  let fragments =
+    Urcgc.Cluster.active_members cluster
+    |> List.map (fun node ->
+           Causal.Group_view.alive_array
+             (Urcgc.Member.view (Urcgc.Cluster.member cluster node)))
+    |> List.sort_uniq compare |> List.length
+  in
+  let discarded =
+    List.fold_left
+      (fun acc (_, mids, _) -> acc + List.length mids)
+      0
+      (Urcgc.Cluster.discards cluster)
+  in
+  {
+    scenario;
+    generated = List.length generations;
+    delivered_remote = List.length remote;
+    delay = Stats.Summary.of_list delays;
+    completion_rtd;
+    subruns = Urcgc.Cluster.subrun cluster;
+    control_msgs = Net.Traffic.count traffic Net.Traffic.Control;
+    control_bytes = Net.Traffic.bytes traffic Net.Traffic.Control;
+    control_mean_size = Net.Traffic.mean_size traffic Net.Traffic.Control;
+    control_max_size = Net.Traffic.max_size traffic Net.Traffic.Control;
+    data_msgs = Net.Traffic.count traffic Net.Traffic.Data;
+    data_bytes = Net.Traffic.bytes traffic Net.Traffic.Data;
+    recovery_msgs = Net.Traffic.count traffic Net.Traffic.Recovery;
+    recovery_bytes = Net.Traffic.bytes traffic Net.Traffic.Recovery;
+    history_peak = !history_peak;
+    history_series = List.rev !history_series;
+    waiting_peak = !waiting_peak;
+    departures = Urcgc.Cluster.departures cluster;
+    discarded;
+    fragments;
+    verdict = Checker.check cluster;
+  }
+
+let control_msgs_per_subrun report =
+  if report.subruns = 0 then 0.0
+  else float_of_int report.control_msgs /. float_of_int report.subruns
+
+let mean_delay_rtd report =
+  if report.delay.Stats.Summary.count = 0 then 0.0
+  else report.delay.Stats.Summary.mean
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v 2>%s:@ generated=%d delivered_remote=%d@ mean delay=%.3f rtd (p95 \
+     %.3f)@ completion=%.1f rtd over %d subruns@ control: %d msgs, mean %.0f \
+     B, max %d B@ recovery: %d msgs@ history peak=%d waiting peak=%d@ \
+     departures=%d discarded=%d@ %a@]"
+    r.scenario.Scenario.name r.generated r.delivered_remote
+    (mean_delay_rtd r) r.delay.Stats.Summary.p95 r.completion_rtd r.subruns
+    r.control_msgs r.control_mean_size r.control_max_size r.recovery_msgs
+    r.history_peak r.waiting_peak
+    (List.length r.departures)
+    r.discarded Checker.pp r.verdict

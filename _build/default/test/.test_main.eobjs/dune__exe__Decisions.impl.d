@@ -1,0 +1,1 @@
+test/decisions.ml: Urcgc

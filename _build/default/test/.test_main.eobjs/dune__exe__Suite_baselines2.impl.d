@@ -1,0 +1,1 @@
+test/suite_baselines2.ml: Alcotest Array Causal Cbcast List Net Psync Sim Urcgc

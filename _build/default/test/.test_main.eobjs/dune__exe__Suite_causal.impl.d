@@ -1,0 +1,1 @@
+test/suite_causal.ml: Alcotest Array Causal Hashtbl List Net QCheck QCheck_alcotest

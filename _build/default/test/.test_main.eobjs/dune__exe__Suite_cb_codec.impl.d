@@ -1,0 +1,1 @@
+test/suite_cb_codec.ml: Alcotest Array Bytes Cbcast Format List Net String

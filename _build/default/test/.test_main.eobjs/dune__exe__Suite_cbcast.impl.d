@@ -1,0 +1,1 @@
+test/suite_cbcast.ml: Alcotest Array Cbcast List Net QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,1 @@
+test/suite_codec.ml: Alcotest Array Bytes Causal Format List Net Printf QCheck QCheck_alcotest String Urcgc

@@ -1,0 +1,1 @@
+test/suite_codec_boundary.ml: Alcotest Causal Format List Net Printf Sim String Urcgc

@@ -1,0 +1,1 @@
+test/suite_determinism.ml: Alcotest Astring_contains Cbcast Format List Net Printf QCheck QCheck_alcotest Sim

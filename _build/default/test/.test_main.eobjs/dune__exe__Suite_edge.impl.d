@@ -1,0 +1,1 @@
+test/suite_edge.ml: Alcotest Array Causal Cbcast List Net Sim Urcgc Urgc

@@ -1,0 +1,1 @@
+test/suite_fragmentation.ml: Alcotest Causal List Net Sim Urcgc

@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Array Bytes Cbcast List Net Printf QCheck QCheck_alcotest Urcgc

@@ -1,0 +1,1 @@
+test/suite_groups.ml: Alcotest Causal Groups Hashtbl List Net Printf Sim Urcgc

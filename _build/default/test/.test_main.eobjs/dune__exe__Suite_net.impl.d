@@ -1,0 +1,1 @@
+test/suite_net.ml: Alcotest Float List Net Sim

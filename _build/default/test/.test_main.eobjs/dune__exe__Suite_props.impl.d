@@ -1,0 +1,1 @@
+test/suite_props.ml: Array Causal Format Fun List Net Option QCheck QCheck_alcotest Sim String Urcgc

@@ -1,0 +1,1 @@
+test/suite_ps_codec.ml: Alcotest Bytes Format List Net Printf Psync QCheck QCheck_alcotest String

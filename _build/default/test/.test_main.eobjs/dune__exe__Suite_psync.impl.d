@@ -1,0 +1,1 @@
+test/suite_psync.ml: Alcotest List Net Psync Sim Workload

@@ -1,0 +1,1 @@
+test/suite_resilience.ml: Alcotest Array Causal Fun List Net Printf QCheck QCheck_alcotest Sim Urcgc Urgc Workload

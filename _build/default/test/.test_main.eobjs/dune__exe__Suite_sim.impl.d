@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Float Fun List Option QCheck QCheck_alcotest Sim

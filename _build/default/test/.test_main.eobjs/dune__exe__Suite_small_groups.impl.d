@@ -1,0 +1,1 @@
+test/suite_small_groups.ml: Alcotest Causal List Net Sim Urcgc Workload

@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Array Astring_contains Format List Net Stats String Urcgc

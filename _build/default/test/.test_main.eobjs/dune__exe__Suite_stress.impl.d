@@ -1,0 +1,1 @@
+test/suite_stress.ml: Alcotest List Net Sim String Urcgc Workload

@@ -1,0 +1,1 @@
+test/suite_tw_codec.ml: Alcotest Array Bytes Causal Format List Net Option Printf QCheck QCheck_alcotest String Urgc

@@ -1,0 +1,1 @@
+test/suite_urcgc.ml: Alcotest Array Causal Decisions Float Fun List Net QCheck QCheck_alcotest Sim Stats String Urcgc Workload

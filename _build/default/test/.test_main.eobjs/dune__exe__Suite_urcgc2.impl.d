@@ -1,0 +1,1 @@
+test/suite_urcgc2.ml: Alcotest Causal List Net Sim Urcgc Workload

@@ -1,0 +1,1 @@
+test/suite_urgc.ml: Alcotest Array Causal Hashtbl List Net Option QCheck QCheck_alcotest Sim Urcgc Urgc Workload

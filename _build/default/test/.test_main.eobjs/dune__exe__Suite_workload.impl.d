@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Astring_contains Format Fun List Net Sim Urcgc Workload

@@ -1,0 +1,13 @@
+(* Tiny substring check used by the table-rendering tests. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end

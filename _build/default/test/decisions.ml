@@ -1,0 +1,3 @@
+(* Shared helper: a fresh initial decision for test fixtures. *)
+
+let initial n = Urcgc.Decision.initial ~n

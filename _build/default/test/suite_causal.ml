@@ -1,0 +1,338 @@
+(* Tests for the causal data structures: mids, messages, delivery tracker,
+   history, waiting list, group view. *)
+
+let node n = Net.Node_id.of_int n
+let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s
+
+let msg ?(deps = []) o s =
+  Causal.Causal_msg.make ~mid:(mid o s) ~deps ~payload_size:8 (o, s)
+
+let mid_testable = Alcotest.testable Causal.Mid.pp Causal.Mid.equal
+
+let mid_tests =
+  [
+    Alcotest.test_case "seq must be positive" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Mid.make: seq must be >= 1")
+          (fun () -> ignore (mid 0 0)));
+    Alcotest.test_case "ordering is origin-major" `Quick (fun () ->
+        Alcotest.(check bool) "p0#9 < p1#1" true
+          (Causal.Mid.compare (mid 0 9) (mid 1 1) < 0);
+        Alcotest.(check bool) "p1#1 < p1#2" true
+          (Causal.Mid.compare (mid 1 1) (mid 1 2) < 0));
+    Alcotest.test_case "predecessor and successor" `Quick (fun () ->
+        Alcotest.(check (option mid_testable)) "pred of #1" None
+          (Causal.Mid.predecessor (mid 3 1));
+        Alcotest.(check (option mid_testable)) "pred of #5" (Some (mid 3 4))
+          (Causal.Mid.predecessor (mid 3 5));
+        Alcotest.(check mid_testable) "succ" (mid 3 6)
+          (Causal.Mid.successor (mid 3 5)));
+    Alcotest.test_case "encoded size" `Quick (fun () ->
+        Alcotest.(check int) "8 bytes" 8 Causal.Mid.encoded_size);
+  ]
+
+let causal_msg_tests =
+  [
+    Alcotest.test_case "deps are sorted and deduplicated" `Quick (fun () ->
+        let m = msg ~deps:[ mid 2 1; mid 1 4; mid 2 1 ] 0 1 in
+        Alcotest.(check (list mid_testable)) "sorted" [ mid 1 4; mid 2 1 ]
+          m.Causal.Causal_msg.deps);
+    Alcotest.test_case "rejects two deps of the same origin" `Quick (fun () ->
+        Alcotest.check_raises "dup origin"
+          (Invalid_argument "Causal_msg.make: two dependencies share an origin")
+          (fun () -> ignore (msg ~deps:[ mid 2 1; mid 2 3 ] 0 1)));
+    Alcotest.test_case "rejects self or future dependency" `Quick (fun () ->
+        Alcotest.check_raises "self"
+          (Invalid_argument
+             "Causal_msg.make: dependency on self or a later message")
+          (fun () -> ignore (msg ~deps:[ mid 0 1 ] 0 1)));
+    Alcotest.test_case "accepts dependency on own earlier message" `Quick
+      (fun () ->
+        let m = msg ~deps:[ mid 0 2 ] 0 5 in
+        Alcotest.(check int) "1 dep" 1 (List.length m.Causal.Causal_msg.deps));
+    Alcotest.test_case "encoded size counts header, deps, payload" `Quick
+      (fun () ->
+        let m = msg ~deps:[ mid 1 1; mid 2 1 ] 0 1 in
+        Alcotest.(check int) "size"
+          (Causal.Causal_msg.header_size + (2 * 8) + 8)
+          (Causal.Causal_msg.encoded_size m));
+    Alcotest.test_case "depends_on: explicit and implicit chain" `Quick
+      (fun () ->
+        let m = msg ~deps:[ mid 1 3 ] 0 5 in
+        Alcotest.(check bool) "explicit" true
+          (Causal.Causal_msg.depends_on m (mid 1 3));
+        Alcotest.(check bool) "implicit chain" true
+          (Causal.Causal_msg.depends_on m (mid 0 4));
+        Alcotest.(check bool) "not later" false
+          (Causal.Causal_msg.depends_on m (mid 0 6));
+        Alcotest.(check bool) "unrelated" false
+          (Causal.Causal_msg.depends_on m (mid 2 1)));
+    Alcotest.test_case "rejects negative payload size" `Quick (fun () ->
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Causal_msg.make: negative payload size") (fun () ->
+            ignore
+              (Causal.Causal_msg.make ~mid:(mid 0 1) ~deps:[] ~payload_size:(-1)
+                 ())));
+  ]
+
+let delivery_tests =
+  [
+    Alcotest.test_case "fresh tracker has processed nothing" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        Alcotest.(check int) "zero" 0 (Causal.Delivery.last_processed d (node 0));
+        Alcotest.(check bool) "not processed" false
+          (Causal.Delivery.processed d (mid 0 1));
+        Alcotest.(check int) "count" 0 (Causal.Delivery.count d));
+    Alcotest.test_case "mark advances the chain" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        Causal.Delivery.mark d (mid 1 1);
+        Causal.Delivery.mark d (mid 1 2);
+        Alcotest.(check int) "2" 2 (Causal.Delivery.last_processed d (node 1));
+        Alcotest.(check bool) "processed" true
+          (Causal.Delivery.processed d (mid 1 1)));
+    Alcotest.test_case "mark refuses out-of-order" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        Alcotest.check_raises "gap"
+          (Invalid_argument "Delivery.mark: out-of-order processing") (fun () ->
+            Causal.Delivery.mark d (mid 1 2)));
+    Alcotest.test_case "processable requires chain and deps" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        Alcotest.(check bool) "root ok" true
+          (Causal.Delivery.processable d (msg 1 1));
+        Alcotest.(check bool) "gap not ok" false
+          (Causal.Delivery.processable d (msg 1 2));
+        let dependent = msg ~deps:[ mid 2 1 ] 1 1 in
+        Alcotest.(check bool) "dep missing" false
+          (Causal.Delivery.processable d dependent);
+        Causal.Delivery.mark d (mid 2 1);
+        Alcotest.(check bool) "dep satisfied" true
+          (Causal.Delivery.processable d dependent));
+    Alcotest.test_case "missing reports gap and unprocessed deps" `Quick
+      (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        let m = msg ~deps:[ mid 2 1 ] 1 3 in
+        Alcotest.(check (list mid_testable)) "both" [ mid 1 1; mid 2 1 ]
+          (Causal.Delivery.missing d m);
+        Causal.Delivery.mark d (mid 1 1);
+        Causal.Delivery.mark d (mid 1 2);
+        Causal.Delivery.mark d (mid 2 1);
+        Alcotest.(check (list mid_testable)) "none" []
+          (Causal.Delivery.missing d m));
+    Alcotest.test_case "force_skip_to only advances" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:3 in
+        Causal.Delivery.force_skip_to d ~origin:(node 1) ~seq:5;
+        Alcotest.(check int) "5" 5 (Causal.Delivery.last_processed d (node 1));
+        Causal.Delivery.force_skip_to d ~origin:(node 1) ~seq:3;
+        Alcotest.(check int) "still 5" 5
+          (Causal.Delivery.last_processed d (node 1)));
+    Alcotest.test_case "vector is a copy" `Quick (fun () ->
+        let d = Causal.Delivery.create ~n:2 in
+        let v = Causal.Delivery.vector d in
+        v.(0) <- 99;
+        Alcotest.(check int) "unchanged" 0
+          (Causal.Delivery.last_processed d (node 0)));
+  ]
+
+let history_tests =
+  [
+    Alcotest.test_case "store and find" `Quick (fun () ->
+        let h = Causal.History.create ~n:3 in
+        Causal.History.store h (msg 1 1);
+        Alcotest.(check bool) "mem" true (Causal.History.mem h (mid 1 1));
+        Alcotest.(check bool) "found" true
+          (Causal.History.find h (mid 1 1) <> None);
+        Alcotest.(check int) "len" 1 (Causal.History.length h));
+    Alcotest.test_case "store is idempotent" `Quick (fun () ->
+        let h = Causal.History.create ~n:3 in
+        Causal.History.store h (msg 1 1);
+        Causal.History.store h (msg 1 1);
+        Alcotest.(check int) "1" 1 (Causal.History.length h));
+    Alcotest.test_case "range returns ordered slice, skipping gaps" `Quick
+      (fun () ->
+        let h = Causal.History.create ~n:3 in
+        List.iter (fun s -> Causal.History.store h (msg 1 s)) [ 1; 2; 4; 5 ];
+        let seqs =
+          List.map
+            (fun m -> Causal.Mid.seq m.Causal.Causal_msg.mid)
+            (Causal.History.range h ~origin:(node 1) ~lo:2 ~hi:5)
+        in
+        Alcotest.(check (list int)) "2,4,5" [ 2; 4; 5 ] seqs);
+    Alcotest.test_case "purge_upto removes a prefix" `Quick (fun () ->
+        let h = Causal.History.create ~n:3 in
+        List.iter (fun s -> Causal.History.store h (msg 1 s)) [ 1; 2; 3; 4 ];
+        let removed = Causal.History.purge_upto h ~origin:(node 1) ~seq:2 in
+        Alcotest.(check int) "2 removed" 2 removed;
+        Alcotest.(check int) "2 left" 2 (Causal.History.length h);
+        Alcotest.(check bool) "3 still there" true
+          (Causal.History.mem h (mid 1 3)));
+    Alcotest.test_case "per-entry length and max_seq" `Quick (fun () ->
+        let h = Causal.History.create ~n:3 in
+        Causal.History.store h (msg 0 1);
+        Causal.History.store h (msg 1 1);
+        Causal.History.store h (msg 1 7);
+        Alcotest.(check int) "entry 1" 2 (Causal.History.entry_length h (node 1));
+        Alcotest.(check int) "max 7" 7 (Causal.History.max_seq h ~origin:(node 1));
+        Alcotest.(check int) "empty entry" 0
+          (Causal.History.max_seq h ~origin:(node 2)));
+    Alcotest.test_case "fold visits everything" `Quick (fun () ->
+        let h = Causal.History.create ~n:3 in
+        List.iter (Causal.History.store h) [ msg 0 1; msg 1 1; msg 2 1 ];
+        let count = Causal.History.fold h ~init:0 ~f:(fun acc _ -> acc + 1) in
+        Alcotest.(check int) "3" 3 count);
+  ]
+
+let waiting_tests =
+  [
+    Alcotest.test_case "oldest per origin" `Quick (fun () ->
+        let w = Causal.Waiting_list.create ~n:3 in
+        Causal.Waiting_list.add w (msg 1 5);
+        Causal.Waiting_list.add w (msg 1 3);
+        Causal.Waiting_list.add w (msg 2 7);
+        Alcotest.(check (option mid_testable)) "p1 oldest" (Some (mid 1 3))
+          (Causal.Waiting_list.oldest w ~origin:(node 1));
+        Alcotest.(check (option mid_testable)) "p0 none" None
+          (Causal.Waiting_list.oldest w ~origin:(node 0));
+        let v = Causal.Waiting_list.oldest_vector w in
+        Alcotest.(check (option mid_testable)) "vector p2" (Some (mid 2 7)) v.(2));
+    Alcotest.test_case "take_processable respects dependencies" `Quick (fun () ->
+        let w = Causal.Waiting_list.create ~n:3 in
+        let d = Causal.Delivery.create ~n:3 in
+        Causal.Waiting_list.add w (msg 1 2);
+        Alcotest.(check bool) "nothing ready" true
+          (Causal.Waiting_list.take_processable w d = None);
+        Causal.Delivery.mark d (mid 1 1);
+        (match Causal.Waiting_list.take_processable w d with
+        | Some m ->
+            Alcotest.(check mid_testable) "1#2" (mid 1 2) m.Causal.Causal_msg.mid
+        | None -> Alcotest.fail "expected a processable message");
+        Alcotest.(check bool) "removed" true (Causal.Waiting_list.is_empty w));
+    Alcotest.test_case "discard_from removes transitive dependents" `Quick
+      (fun () ->
+        let w = Causal.Waiting_list.create ~n:4 in
+        (* waiting: p1#2 (root victim), p1#3 (chain), p2#4 depends on p1#3,
+           p3#9 depends on p2#4, p0#7 unrelated *)
+        Causal.Waiting_list.add w (msg 1 2);
+        Causal.Waiting_list.add w (msg 1 3);
+        Causal.Waiting_list.add w (msg ~deps:[ mid 1 3 ] 2 4);
+        Causal.Waiting_list.add w (msg ~deps:[ mid 2 4 ] 3 9);
+        Causal.Waiting_list.add w (msg 0 7);
+        let discarded =
+          Causal.Waiting_list.discard_from w ~origin:(node 1) ~seq:2
+        in
+        Alcotest.(check int) "4 victims" 4 (List.length discarded);
+        Alcotest.(check int) "1 survivor" 1 (Causal.Waiting_list.length w);
+        Alcotest.(check bool) "unrelated kept" true
+          (Causal.Waiting_list.mem w (mid 0 7)));
+    Alcotest.test_case "add is idempotent, remove works" `Quick (fun () ->
+        let w = Causal.Waiting_list.create ~n:2 in
+        Causal.Waiting_list.add w (msg 1 1);
+        Causal.Waiting_list.add w (msg 1 1);
+        Alcotest.(check int) "1" 1 (Causal.Waiting_list.length w);
+        Causal.Waiting_list.remove w (mid 1 1);
+        Alcotest.(check bool) "empty" true (Causal.Waiting_list.is_empty w));
+    Alcotest.test_case "to_list is in mid order" `Quick (fun () ->
+        let w = Causal.Waiting_list.create ~n:3 in
+        Causal.Waiting_list.add w (msg 2 1);
+        Causal.Waiting_list.add w (msg 0 5);
+        Causal.Waiting_list.add w (msg 2 2);
+        let mids =
+          List.map
+            (fun m -> m.Causal.Causal_msg.mid)
+            (Causal.Waiting_list.to_list w)
+        in
+        Alcotest.(check (list mid_testable)) "sorted"
+          [ mid 0 5; mid 2 1; mid 2 2 ]
+          mids);
+  ]
+
+let group_view_tests =
+  [
+    Alcotest.test_case "starts with everyone alive" `Quick (fun () ->
+        let v = Causal.Group_view.create ~n:4 in
+        Alcotest.(check int) "4" 4 (Causal.Group_view.cardinal v);
+        Alcotest.(check bool) "alive" true (Causal.Group_view.alive v (node 3)));
+    Alcotest.test_case "remove shrinks, idempotent" `Quick (fun () ->
+        let v = Causal.Group_view.create ~n:4 in
+        Causal.Group_view.remove v (node 1);
+        Causal.Group_view.remove v (node 1);
+        Alcotest.(check int) "3" 3 (Causal.Group_view.cardinal v);
+        Alcotest.(check (list int)) "members" [ 0; 2; 3 ]
+          (List.map Net.Node_id.to_int (Causal.Group_view.members v)));
+    Alcotest.test_case "set_alive_array never resurrects" `Quick (fun () ->
+        let v = Causal.Group_view.create ~n:3 in
+        Causal.Group_view.remove v (node 0);
+        Causal.Group_view.set_alive_array v [| true; false; true |];
+        Alcotest.(check bool) "p0 still dead" false
+          (Causal.Group_view.alive v (node 0));
+        Alcotest.(check bool) "p1 removed" false
+          (Causal.Group_view.alive v (node 1));
+        Alcotest.(check bool) "p2 alive" true (Causal.Group_view.alive v (node 2)));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let v = Causal.Group_view.create ~n:2 in
+        let w = Causal.Group_view.copy v in
+        Causal.Group_view.remove w (node 0);
+        Alcotest.(check bool) "original intact" true
+          (Causal.Group_view.alive v (node 0));
+        Alcotest.(check bool) "views differ" false (Causal.Group_view.equal v w));
+  ]
+
+(* Property: discard_from leaves no waiting message that depends on a
+   discarded one. *)
+let waiting_discard_property =
+  QCheck.Test.make ~name:"waiting_list discard closes dependencies" ~count:200
+    QCheck.(small_list (pair (int_bound 3) (int_bound 8)))
+    (fun raw ->
+      let w = Causal.Waiting_list.create ~n:4 in
+      (* Build messages with deterministic deps on earlier listed ones. *)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (o, s) ->
+          let s = s + 1 in
+          if not (Hashtbl.mem seen (o, s)) then begin
+            Hashtbl.replace seen (o, s) ();
+            let deps =
+              Hashtbl.fold
+                (fun (o', s') () acc ->
+                  if o' <> o && (o' + s') mod 3 = 0 then
+                    Causal.Mid.make ~origin:(node o') ~seq:s' :: acc
+                  else acc)
+                seen []
+              (* keep at most one dep per origin *)
+              |> List.sort_uniq Causal.Mid.compare
+              |> List.fold_left
+                   (fun (used, acc) m ->
+                     let o' = Net.Node_id.to_int (Causal.Mid.origin m) in
+                     if List.mem o' used then (used, acc)
+                     else (o' :: used, m :: acc))
+                   ([], [])
+              |> snd
+            in
+            Causal.Waiting_list.add w
+              (Causal.Causal_msg.make
+                 ~mid:(Causal.Mid.make ~origin:(node o) ~seq:s)
+                 ~deps ~payload_size:0 ())
+          end)
+        raw;
+      let discarded = Causal.Waiting_list.discard_from w ~origin:(node 0) ~seq:1 in
+      let discarded_set =
+        List.fold_left
+          (fun acc m -> Causal.Mid.Set.add m acc)
+          Causal.Mid.Set.empty discarded
+      in
+      List.for_all
+        (fun m ->
+          not
+            (Causal.Mid.Set.exists
+               (fun victim -> Causal.Causal_msg.depends_on m victim)
+               discarded_set))
+        (Causal.Waiting_list.to_list w))
+
+let suite =
+  [
+    ("causal.mid", mid_tests);
+    ("causal.msg", causal_msg_tests);
+    ("causal.delivery", delivery_tests);
+    ("causal.history", history_tests);
+    ( "causal.waiting",
+      waiting_tests @ [ QCheck_alcotest.to_alcotest waiting_discard_property ] );
+    ("causal.group_view", group_view_tests);
+  ]

@@ -1,0 +1,222 @@
+(* Tests for the CBCAST baseline: vector clocks, the member's delivery rule,
+   the flush protocol, and end-to-end behaviour. *)
+
+let node n = Net.Node_id.of_int n
+
+let vclock_tests =
+  [
+    Alcotest.test_case "create is all zero" `Quick (fun () ->
+        let v = Cbcast.Vclock.create ~n:4 in
+        Alcotest.(check (array int)) "zero" [| 0; 0; 0; 0 |]
+          (Cbcast.Vclock.to_array v));
+    Alcotest.test_case "tick and get" `Quick (fun () ->
+        let v = Cbcast.Vclock.create ~n:3 in
+        Cbcast.Vclock.tick v (node 1);
+        Cbcast.Vclock.tick v (node 1);
+        Alcotest.(check int) "2" 2 (Cbcast.Vclock.get v (node 1)));
+    Alcotest.test_case "merge is pointwise max" `Quick (fun () ->
+        let a = Cbcast.Vclock.of_array [| 1; 5; 2 |] in
+        let b = Cbcast.Vclock.of_array [| 3; 1; 2 |] in
+        Cbcast.Vclock.merge a b;
+        Alcotest.(check (array int)) "max" [| 3; 5; 2 |] (Cbcast.Vclock.to_array a));
+    Alcotest.test_case "min_into is pointwise min" `Quick (fun () ->
+        let a = Cbcast.Vclock.of_array [| 1; 5; 2 |] in
+        let b = Cbcast.Vclock.of_array [| 3; 1; 2 |] in
+        Cbcast.Vclock.min_into a b;
+        Alcotest.(check (array int)) "min" [| 1; 1; 2 |] (Cbcast.Vclock.to_array a));
+    Alcotest.test_case "le is pointwise" `Quick (fun () ->
+        let a = Cbcast.Vclock.of_array [| 1; 2 |] in
+        let b = Cbcast.Vclock.of_array [| 2; 2 |] in
+        Alcotest.(check bool) "a<=b" true (Cbcast.Vclock.le a b);
+        Alcotest.(check bool) "not b<=a" false (Cbcast.Vclock.le b a));
+    Alcotest.test_case "deliverable: classic CBCAST rule" `Quick (fun () ->
+        let local = Cbcast.Vclock.of_array [| 2; 3; 1 |] in
+        (* from p0, its 3rd message, having seen p1's first 3 *)
+        let ok = Cbcast.Vclock.of_array [| 3; 3; 0 |] in
+        Alcotest.(check bool) "ok" true
+          (Cbcast.Vclock.deliverable ~msg_vt:ok ~from:(node 0) ~local);
+        (* gap in the sender's own sequence *)
+        let gap = Cbcast.Vclock.of_array [| 4; 0; 0 |] in
+        Alcotest.(check bool) "gap" false
+          (Cbcast.Vclock.deliverable ~msg_vt:gap ~from:(node 0) ~local);
+        (* depends on a message we have not seen *)
+        let dep = Cbcast.Vclock.of_array [| 3; 4; 0 |] in
+        Alcotest.(check bool) "missing dep" false
+          (Cbcast.Vclock.deliverable ~msg_vt:dep ~from:(node 0) ~local));
+    Alcotest.test_case "encoded size is 4n" `Quick (fun () ->
+        Alcotest.(check int) "4n" 60
+          (Cbcast.Vclock.encoded_size (Cbcast.Vclock.create ~n:15)));
+  ]
+
+(* qcheck: merge is the least upper bound w.r.t. le. *)
+let vclock_lub_property =
+  QCheck.Test.make ~name:"vclock merge is a least upper bound" ~count:300
+    QCheck.(pair (array_of_size (QCheck.Gen.return 5) small_nat)
+              (array_of_size (QCheck.Gen.return 5) small_nat))
+    (fun (a_raw, b_raw) ->
+      let a = Cbcast.Vclock.of_array a_raw in
+      let b = Cbcast.Vclock.of_array b_raw in
+      let m = Cbcast.Vclock.copy a in
+      Cbcast.Vclock.merge m b;
+      Cbcast.Vclock.le a m && Cbcast.Vclock.le b m
+      &&
+      (* minimality: m <= any other upper bound, here a pointwise max + 1
+         would not be smaller, so check m equals pointwise max *)
+      Array.for_all2 (fun x y -> x = y)
+        (Cbcast.Vclock.to_array m)
+        (Array.map2 max a_raw b_raw))
+
+let member_tests =
+  [
+    Alcotest.test_case "generation ticks own entry and self-delivers" `Quick
+      (fun () ->
+        let m = Cbcast.Member.create ~n:3 ~k:2 (node 1) in
+        Cbcast.Member.submit m "x";
+        let actions = Cbcast.Member.on_round m ~subrun:0 in
+        let data =
+          List.find_map
+            (function
+              | Cbcast.Member.Multicast (Cbcast.Cb_wire.Data d) -> Some d
+              | _ -> None)
+            actions
+        in
+        (match data with
+        | Some d -> Alcotest.(check int) "seq 1" 1 (Cbcast.Cb_wire.seq d)
+        | None -> Alcotest.fail "no data multicast");
+        Alcotest.(check bool) "self-delivered" true
+          (List.exists
+             (function Cbcast.Member.Delivered _ -> true | _ -> false)
+             actions));
+    Alcotest.test_case "out-of-order message buffers until deliverable" `Quick
+      (fun () ->
+        let receiver = Cbcast.Member.create ~n:3 ~k:2 (node 1) in
+        let msg seqs seq_self =
+          {
+            Cbcast.Cb_wire.sender = node 0;
+            view_id = 0;
+            vt = Cbcast.Vclock.of_array [| seq_self; 0; 0 |];
+            payload = seqs;
+            payload_size = 4;
+          }
+        in
+        (* receive #2 before #1 *)
+        let a = Cbcast.Member.handle receiver ~subrun:0 ~from:(node 0) (Cbcast.Cb_wire.Data (msg "two" 2)) in
+        Alcotest.(check int) "buffered" 1 (Cbcast.Member.buffered receiver);
+        Alcotest.(check bool) "no delivery yet" true
+          (not
+             (List.exists
+                (function Cbcast.Member.Delivered _ -> true | _ -> false)
+                a));
+        let b = Cbcast.Member.handle receiver ~subrun:0 ~from:(node 0) (Cbcast.Cb_wire.Data (msg "one" 1)) in
+        let delivered =
+          List.filter_map
+            (function
+              | Cbcast.Member.Delivered d -> Some d.Cbcast.Cb_wire.payload
+              | _ -> None)
+            b
+        in
+        Alcotest.(check (list string)) "in order" [ "one"; "two" ] delivered);
+    Alcotest.test_case "flush request blocks generation and collects unstable"
+      `Quick (fun () ->
+        let m = Cbcast.Member.create ~n:3 ~k:2 (node 1) in
+        Cbcast.Member.submit m "x";
+        let actions =
+          Cbcast.Member.handle m ~subrun:5 ~from:(node 0)
+            (Cbcast.Cb_wire.Flush_req
+               { view_id = 1; members = [| true; true; false |]; coordinator = node 0 })
+        in
+        Alcotest.(check bool) "flushing" true (Cbcast.Member.flushing m);
+        Alcotest.(check bool) "replied unstable" true
+          (List.exists
+             (function
+               | Cbcast.Member.Unicast (_, Cbcast.Cb_wire.Flush_unstable _) -> true
+               | _ -> false)
+             actions);
+        let round = Cbcast.Member.on_round m ~subrun:5 in
+        Alcotest.(check bool) "no data while flushing" true
+          (not
+             (List.exists
+                (function
+                  | Cbcast.Member.Multicast (Cbcast.Cb_wire.Data _) -> true
+                  | _ -> false)
+                round)));
+    Alcotest.test_case "new view excluding us halts the member" `Quick
+      (fun () ->
+        let m : string Cbcast.Member.t = Cbcast.Member.create ~n:3 ~k:2 (node 2) in
+        let actions =
+          Cbcast.Member.handle m ~subrun:5 ~from:(node 0)
+            (Cbcast.Cb_wire.New_view
+               { view_id = 1; members = [| true; true; false |]; retransmit = [] })
+        in
+        Alcotest.(check bool) "halted" true
+          (List.exists
+             (function Cbcast.Member.Halted _ -> true | _ -> false)
+             actions);
+        Alcotest.(check bool) "inactive" false (Cbcast.Member.active m));
+    Alcotest.test_case "stability gc drops delivered history" `Quick (fun () ->
+        let m = Cbcast.Member.create ~n:2 ~k:2 (node 1) in
+        for _ = 1 to 3 do
+          Cbcast.Member.submit m "x";
+          ignore (Cbcast.Member.on_round m ~subrun:0)
+        done;
+        Alcotest.(check int) "3 unstable" 3 (Cbcast.Member.unstable m);
+        ignore
+          (Cbcast.Member.handle m ~subrun:1 ~from:(node 0)
+             (Cbcast.Cb_wire.Stability { vt = Cbcast.Vclock.of_array [| 0; 2 |] }));
+        Alcotest.(check int) "1 left" 1 (Cbcast.Member.unstable m));
+  ]
+
+(* -- end-to-end -------------------------------------------------------- *)
+
+let run_cb ?(n = 8) ?(k = 3) ?(rate = 0.5) ?(messages = 60) ?(crashes = [])
+    ?(seed = 42) ?(max_rtd = 150.0) () =
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  let fault =
+    Net.Fault.with_crashes
+      (List.map
+         (fun (i, subrun) ->
+           (node i, Sim.Ticks.of_int ((subrun * Sim.Ticks.per_rtd) + 1)))
+         crashes)
+      Net.Fault.reliable
+  in
+  Workload.Runner_cbcast.run ~n ~k ~load ~fault ~seed ~max_rtd ()
+
+let e2e_tests =
+  [
+    Alcotest.test_case "reliable run is causal and atomic" `Slow (fun () ->
+        let r = run_cb () in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_cbcast.causal_ok;
+        Alcotest.(check bool) "atomic" true r.Workload.Runner_cbcast.atomicity_ok;
+        Alcotest.(check int) "all delivered" (60 * 7)
+          r.Workload.Runner_cbcast.delivered_remote;
+        Alcotest.(check int) "no view change" 0
+          r.Workload.Runner_cbcast.view_changes);
+    Alcotest.test_case "crash triggers exactly one view change" `Slow (fun () ->
+        let r = run_cb ~crashes:[ (2, 4) ] () in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_cbcast.causal_ok;
+        Alcotest.(check bool) "atomic" true r.Workload.Runner_cbcast.atomicity_ok;
+        Alcotest.(check int) "one view change" 1
+          r.Workload.Runner_cbcast.view_changes;
+        Alcotest.(check bool) "processing was blocked for a while" true
+          (r.Workload.Runner_cbcast.flush_time_rtd > 0.0));
+    Alcotest.test_case "crash grows the control message size (Table 1)" `Slow
+      (fun () ->
+        let reliable = run_cb () in
+        let crashed = run_cb ~crashes:[ (2, 4) ] () in
+        Alcotest.(check bool) "flush messages are bigger" true
+          (crashed.Workload.Runner_cbcast.control_max_size
+          > 4 * reliable.Workload.Runner_cbcast.control_max_size));
+    Alcotest.test_case "deterministic across equal seeds" `Slow (fun () ->
+        let a = run_cb ~seed:9 () and b = run_cb ~seed:9 () in
+        Alcotest.(check int) "same control count"
+          a.Workload.Runner_cbcast.control_msgs
+          b.Workload.Runner_cbcast.control_msgs);
+  ]
+
+let suite =
+  [
+    ( "cbcast.vclock",
+      vclock_tests @ [ QCheck_alcotest.to_alcotest vclock_lub_property ] );
+    ("cbcast.member", member_tests);
+    ("cbcast.e2e", e2e_tests);
+  ]

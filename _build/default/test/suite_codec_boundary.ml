@@ -1,0 +1,72 @@
+(* The protocol running over its own wire format: every PDU is encoded to
+   bytes and decoded again in flight.  A full scenario over this boundary
+   must behave exactly like the direct run (the simulator is deterministic,
+   so "exactly" means identical delivery logs). *)
+
+let node n = Net.Node_id.of_int n
+
+let run_cluster ~with_codec ~fault_spec ~seed =
+  let n = 6 and k = 3 in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let fault = Net.Fault.create fault_spec ~rng:(Sim.Rng.split rng) in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let medium =
+    let base = Urcgc.Medium.of_netsim net in
+    if with_codec then
+      Urcgc.Medium.with_codec Urcgc.Wire_codec.string_payload base
+    else base
+  in
+  let config = Urcgc.Config.make ~k ~n () in
+  let cluster = Urcgc.Cluster.create_with_medium ~config ~medium () in
+  let produced = ref 0 in
+  Urcgc.Cluster.on_round cluster (fun ~round:_ ->
+      List.iter
+        (fun nd ->
+          if !produced < 40 && Sim.Rng.bool rng 0.5 then begin
+            incr produced;
+            (* String payloads whose length always matches the declared
+               payload size. *)
+            let text = Printf.sprintf "message-%04d" !produced in
+            Urcgc.Cluster.submit ~size:(String.length text) cluster nd text
+          end)
+        (Net.Node_id.group n));
+  Urcgc.Cluster.start cluster;
+  Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 40.0);
+  List.map
+    (fun { Urcgc.Cluster.node; msg; at } ->
+      ( Net.Node_id.to_int node,
+        Format.asprintf "%a" Causal.Mid.pp msg.Causal.Causal_msg.mid,
+        msg.Causal.Causal_msg.payload,
+        Sim.Ticks.to_int at ))
+    (Urcgc.Cluster.deliveries cluster)
+
+let tests =
+  [
+    Alcotest.test_case
+      "a reliable run over the codec boundary is byte-for-byte identical"
+      `Slow (fun () ->
+        let direct =
+          run_cluster ~with_codec:false ~fault_spec:Net.Fault.reliable ~seed:3
+        in
+        let boundary =
+          run_cluster ~with_codec:true ~fault_spec:Net.Fault.reliable ~seed:3
+        in
+        Alcotest.(check int) "same delivery count" (List.length direct)
+          (List.length boundary);
+        Alcotest.(check bool) "identical logs" true (direct = boundary));
+    Alcotest.test_case
+      "a faulty run (crash + omission) over the codec boundary is identical"
+      `Slow (fun () ->
+        let fault_spec =
+          Net.Fault.with_crashes
+            [ (node 2, Sim.Ticks.of_int 401) ]
+            (Net.Fault.omission_every 120)
+        in
+        let direct = run_cluster ~with_codec:false ~fault_spec ~seed:8 in
+        let boundary = run_cluster ~with_codec:true ~fault_spec ~seed:8 in
+        Alcotest.(check bool) "identical logs" true (direct = boundary);
+        Alcotest.(check bool) "nontrivial run" true (List.length direct > 100));
+  ]
+
+let suite = [ ("codec.boundary", tests) ]

@@ -1,0 +1,243 @@
+(* Edge-case coverage that the main suites do not reach: the
+   recovery-exhausted departure, coordinator-request handling corners,
+   urgc's recovery path, and CBCAST's stability cut soundness. *)
+
+let node n = Net.Node_id.of_int n
+let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s
+
+let member_edge_tests =
+  let config = Urcgc.Config.make ~n:3 ~k:2 ~r:3 () in
+  [
+    Alcotest.test_case
+      "R failed recovery attempts make the process leave (Lemma 4.2)" `Quick
+      (fun () ->
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        (* A decision says p2 processed 4 messages of p0 that we miss; our
+           recovery requests go unanswered (we never feed replies). *)
+        let d0 = Urcgc.Decision.initial ~n:3 in
+        let d =
+          {
+            d0 with
+            Urcgc.Decision.subrun = 0;
+            max_processed = [| 4; 0; 0 |];
+            most_updated = [| node 2; node 1; node 2 |];
+          }
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu d));
+        let left = ref None in
+        (* Keep feeding fresh decisions so silence never triggers first. *)
+        let s = ref 1 in
+        while !left = None && !s < 12 do
+          let actions = Urcgc.Member.begin_subrun m ~subrun:!s in
+          List.iter
+            (function
+              | Urcgc.Member.Left why -> left := Some why
+              | _ -> ())
+            actions;
+          ignore
+            (Urcgc.Member.handle m
+               (Urcgc.Wire.Decision_pdu { d with Urcgc.Decision.subrun = !s }));
+          incr s
+        done;
+        match !left with
+        | Some Urcgc.Member.Recovery_exhausted ->
+            (* r = 3: gone by the 4th stalled attempt *)
+            Alcotest.(check bool) "left within r+1 subruns" true (!s <= 6)
+        | Some other ->
+            Alcotest.failf "left for the wrong reason: %s"
+              (Urcgc.Member.reason_to_string other)
+        | None -> Alcotest.fail "never left");
+    Alcotest.test_case "recovery progress resets the attempt counter" `Quick
+      (fun () ->
+        let m : string Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        let d0 = Urcgc.Decision.initial ~n:3 in
+        let d =
+          {
+            d0 with
+            Urcgc.Decision.subrun = 0;
+            max_processed = [| 3; 0; 0 |];
+            most_updated = [| node 2; node 1; node 2 |];
+          }
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu d));
+        (* Two stalled subruns... *)
+        ignore (Urcgc.Member.begin_subrun m ~subrun:1);
+        ignore
+          (Urcgc.Member.handle m
+             (Urcgc.Wire.Decision_pdu { d with Urcgc.Decision.subrun = 1 }));
+        ignore (Urcgc.Member.begin_subrun m ~subrun:2);
+        ignore
+          (Urcgc.Member.handle m
+             (Urcgc.Wire.Decision_pdu { d with Urcgc.Decision.subrun = 2 }));
+        (* ... then one message arrives: progress. *)
+        ignore
+          (Urcgc.Member.handle m
+             (Urcgc.Wire.Data
+                (Causal.Causal_msg.make ~mid:(mid 0 1) ~deps:[] ~payload_size:1
+                   "a")));
+        (* Two more stalled subruns must NOT reach r = 3 because the counter
+           reset on progress. *)
+        let left = ref false in
+        for s = 3 to 4 do
+          ignore
+            (Urcgc.Member.handle m
+               (Urcgc.Wire.Decision_pdu { d with Urcgc.Decision.subrun = s - 1 }));
+          List.iter
+            (function Urcgc.Member.Left _ -> left := true | _ -> ())
+            (Urcgc.Member.begin_subrun m ~subrun:s)
+        done;
+        Alcotest.(check bool) "still in the group" false !left);
+    Alcotest.test_case "requests for another subrun are ignored" `Quick
+      (fun () ->
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 0) in
+        ignore (Urcgc.Member.begin_subrun m ~subrun:0);
+        let stale =
+          {
+            Urcgc.Wire.sender = node 1;
+            subrun = 99;
+            last_processed = [| 0; 0; 0 |];
+            waiting = [| None; None; None |];
+            prev_decision = Urcgc.Decision.initial ~n:3;
+          }
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Request stale));
+        (* The decision computed at mid-subrun must not count p1 as heard:
+           with K=2 it takes 2 silent subruns to declare, so check attempts. *)
+        let actions = Urcgc.Member.mid_subrun m ~subrun:0 in
+        let d =
+          List.find_map
+            (function
+              | Urcgc.Member.Broadcast (Urcgc.Wire.Decision_pdu d) -> Some d
+              | _ -> None)
+            actions
+        in
+        match d with
+        | Some d ->
+            Alcotest.(check int) "p1 counted silent" 1
+              d.Urcgc.Decision.attempts.(1)
+        | None -> Alcotest.fail "no decision");
+    Alcotest.test_case "duplicate requests from one sender count once" `Quick
+      (fun () ->
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 0) in
+        ignore (Urcgc.Member.begin_subrun m ~subrun:0);
+        let request =
+          {
+            Urcgc.Wire.sender = node 1;
+            subrun = 0;
+            last_processed = [| 0; 0; 0 |];
+            waiting = [| None; None; None |];
+            prev_decision = Urcgc.Decision.initial ~n:3;
+          }
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Request request));
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Request request));
+        let actions = Urcgc.Member.mid_subrun m ~subrun:0 in
+        match
+          List.find_map
+            (function
+              | Urcgc.Member.Broadcast (Urcgc.Wire.Decision_pdu d) -> Some d
+              | _ -> None)
+            actions
+        with
+        | Some d ->
+            Alcotest.(check int) "p1 heard once, attempts 0" 0
+              d.Urcgc.Decision.attempts.(1)
+        | None -> Alcotest.fail "no decision");
+    Alcotest.test_case "non-coordinator mid_subrun emits no decision" `Quick
+      (fun () ->
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        ignore (Urcgc.Member.begin_subrun m ~subrun:0);
+        let actions = Urcgc.Member.mid_subrun m ~subrun:0 in
+        Alcotest.(check bool) "no decision" true
+          (not
+             (List.exists
+                (function
+                  | Urcgc.Member.Broadcast (Urcgc.Wire.Decision_pdu _) -> true
+                  | _ -> false)
+                actions)));
+  ]
+
+let urgc_recovery_tests =
+  [
+    Alcotest.test_case
+      "urgc: data lost to all but its origin is recovered via rotation" `Slow
+      (fun () ->
+        let engine = Sim.Engine.create () in
+        let rng = Sim.Rng.create ~seed:5 in
+        let fault =
+          Net.Fault.create Net.Fault.reliable ~rng:(Sim.Rng.split rng)
+        in
+        let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+        let cluster = Urgc.Cluster.create ~n:4 ~k:2 ~net () in
+        (* Lose every direct copy of (p3, 1); after its global sequence is
+           assigned, p3 processes it alone, and the others must fetch it from
+           history once p3 rotates into the coordinator role. *)
+        Net.Netsim.set_filter net
+          (Some
+             (fun packet ->
+               match packet.Net.Netsim.payload with
+               | Urgc.Total_wire.Data data ->
+                   not
+                     (Causal.Mid.equal data.Urgc.Total_wire.mid
+                        (Causal.Mid.make ~origin:(node 3) ~seq:1))
+               | _ -> true));
+        Urgc.Cluster.submit cluster (node 3) "precious";
+        Urgc.Cluster.submit cluster (node 0) "other";
+        Urgc.Cluster.start cluster;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 30.0);
+        Alcotest.(check bool) "total order holds" true
+          (Urgc.Cluster.total_order_ok cluster);
+        List.iter
+          (fun member ->
+            Alcotest.(check int) "both processed everywhere" 2
+              (Urgc.Member.processed_upto member))
+          (Urgc.Cluster.members cluster));
+  ]
+
+let cbcast_stability_tests =
+  [
+    Alcotest.test_case
+      "the published stable cut never exceeds any member's delivered vector"
+      `Slow (fun () ->
+        let n = 6 and k = 3 in
+        let engine = Sim.Engine.create () in
+        let rng = Sim.Rng.create ~seed:23 in
+        let fault =
+          Net.Fault.create Net.Fault.reliable ~rng:(Sim.Rng.split rng)
+        in
+        let cluster =
+          Cbcast.Cluster.create ~n ~k ~engine ~fault ~rng:(Sim.Rng.split rng) ()
+        in
+        let produced = ref 0 in
+        Cbcast.Cluster.on_round cluster (fun ~round:_ ->
+            List.iter
+              (fun nd ->
+                if !produced < 60 && Sim.Rng.bool rng 0.5 then begin
+                  incr produced;
+                  Cbcast.Cluster.submit cluster nd !produced
+                end)
+              (Net.Node_id.group n));
+        (* Invariant sampled continuously: anything a member garbage-collects
+           as stable must be delivered at every member.  Unstable counts can
+           only shrink to zero at quiescence. *)
+        Cbcast.Cluster.start cluster;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 40.0);
+        let members = Cbcast.Cluster.members cluster in
+        Alcotest.(check bool) "all drained, history gc'd" true
+          (List.for_all
+             (fun member -> Cbcast.Member.unstable member <= 1 * n)
+             members);
+        let vts = List.map Cbcast.Member.delivered_vt members in
+        match vts with
+        | first :: rest ->
+            Alcotest.(check bool) "vectors agree at quiescence" true
+              (List.for_all (fun vt -> Cbcast.Vclock.equal vt first) rest)
+        | [] -> ());
+  ]
+
+let suite =
+  [
+    ("urcgc.member_edge", member_edge_tests);
+    ("urgc.recovery", urgc_recovery_tests);
+    ("cbcast.stability", cbcast_stability_tests);
+  ]

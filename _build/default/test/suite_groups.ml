@@ -1,0 +1,202 @@
+(* Tests for the Section 3 group structures: diffusion groups (passive
+   clients fed by the servers' multicasts) and client-server groups (reply
+   management on top of uniform processing). *)
+
+let node n = Net.Node_id.of_int n
+
+let build_cluster ?(n = 4) ?(k = 2) ?(fault = Net.Fault.reliable) ?(seed = 31)
+    () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let fault = Net.Fault.create fault ~rng:(Sim.Rng.split rng) in
+  let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+  let config = Urcgc.Config.make ~k ~n () in
+  let cluster = Urcgc.Cluster.create ~config ~net () in
+  (engine, net, cluster)
+
+let diffusion_tests =
+  [
+    Alcotest.test_case "clients receive the full stream in causal order"
+      `Quick (fun () ->
+        let engine, net, cluster = build_cluster () in
+        let diffusion =
+          Groups.Diffusion.attach_clients cluster ~net
+            ~client_ids:[ node 10; node 11 ]
+        in
+        Urcgc.Cluster.start cluster;
+        for i = 1 to 3 do
+          Urcgc.Cluster.submit cluster (node 0) (Printf.sprintf "a%d" i);
+          Urcgc.Cluster.submit cluster (node 1) (Printf.sprintf "b%d" i)
+        done;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 8.0);
+        List.iter
+          (fun client ->
+            Alcotest.(check int) "all 6 processed" 6
+              (Groups.Diffusion.processed_count client);
+            (* per-origin order respected *)
+            let seqs origin =
+              List.filter_map
+                (fun (mid, _) ->
+                  if Net.Node_id.equal (Causal.Mid.origin mid) origin then
+                    Some (Causal.Mid.seq mid)
+                  else None)
+                (Groups.Diffusion.processed client)
+            in
+            Alcotest.(check (list int)) "p0 in order" [ 1; 2; 3 ]
+              (seqs (node 0));
+            Alcotest.(check (list int)) "p1 in order" [ 1; 2; 3 ]
+              (seqs (node 1)))
+          (Groups.Diffusion.clients diffusion));
+    Alcotest.test_case "clients recover losses from the servers' histories"
+      `Quick (fun () ->
+        let engine, net, cluster = build_cluster () in
+        let diffusion =
+          Groups.Diffusion.attach_clients cluster ~net ~client_ids:[ node 10 ]
+        in
+        (* Lose the first copy of everything sent to the client. *)
+        let dropped = Hashtbl.create 16 in
+        Net.Netsim.set_filter net
+          (Some
+             (fun packet ->
+               match packet.Net.Netsim.payload with
+               | Urcgc.Wire.Data msg
+                 when Net.Node_id.to_int packet.dst = 10 ->
+                   let key = msg.Causal.Causal_msg.mid in
+                   if Hashtbl.mem dropped key then true
+                   else begin
+                     Hashtbl.replace dropped key ();
+                     false
+                   end
+               | _ -> true));
+        Urcgc.Cluster.start cluster;
+        for i = 1 to 4 do
+          Urcgc.Cluster.submit cluster (node 0) i
+        done;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 15.0);
+        let client = Groups.Diffusion.client diffusion (node 10) in
+        Alcotest.(check int) "recovered everything" 4
+          (Groups.Diffusion.processed_count client);
+        Alcotest.(check int) "nothing stuck waiting" 0
+          (Groups.Diffusion.waiting_length client));
+    Alcotest.test_case "client ids inside the group are rejected" `Quick
+      (fun () ->
+        let _, net, cluster = build_cluster () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Groups.Diffusion.attach_clients cluster ~net
+                  ~client_ids:[ node 2 ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "orphan purge reaches diffusion clients" `Slow
+      (fun () ->
+        (* Same staging as the member-level orphan test: m1 lost everywhere,
+           p3 crashes; the client must discard m2 with the group. *)
+        let fault =
+          Net.Fault.with_crashes
+            [ (node 3, Sim.Ticks.of_int 60) ]
+            Net.Fault.reliable
+        in
+        let engine, net, cluster = build_cluster ~k:1 ~fault () in
+        let diffusion =
+          Groups.Diffusion.attach_clients cluster ~net ~client_ids:[ node 10 ]
+        in
+        Net.Netsim.set_filter net
+          (Some
+             (fun packet ->
+               match packet.Net.Netsim.payload with
+               | Urcgc.Wire.Data msg ->
+                   not
+                     (Causal.Mid.equal msg.Causal.Causal_msg.mid
+                        (Causal.Mid.make ~origin:(node 3) ~seq:1))
+               | _ -> true));
+        Urcgc.Cluster.submit cluster (node 3) 1;
+        Urcgc.Cluster.submit cluster (node 3) 2;
+        Urcgc.Cluster.start cluster;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 20.0);
+        let client = Groups.Diffusion.client diffusion (node 10) in
+        Alcotest.(check int) "client waiting list purged" 0
+          (Groups.Diffusion.waiting_length client);
+        Alcotest.(check int) "nothing of p3 processed" 0
+          (Groups.Diffusion.last_processed client (node 3)));
+  ]
+
+let client_server_tests =
+  [
+    Alcotest.test_case "request -> group processing -> reply" `Quick (fun () ->
+        let engine, net, cluster = build_cluster () in
+        let service = Groups.Client_server.create cluster ~net () in
+        let client =
+          Groups.Client_server.connect service ~client_id:(node 20)
+            ~server:(node 1) ()
+        in
+        Urcgc.Cluster.start cluster;
+        let id1 = Groups.Client_server.submit client "credit 10" in
+        let id2 = Groups.Client_server.submit client "debit 4" in
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 8.0);
+        let replies = Groups.Client_server.replies client in
+        (* Two requests fired in the same instant race on the edge network;
+           both must be answered, but their mutual order is not promised. *)
+        Alcotest.(check (list int)) "both replied" [ id1; id2 ]
+          (List.sort compare (List.map fst replies));
+        Alcotest.(check bool) "served by the contacted server" true
+          (List.for_all (fun (_, s) -> Net.Node_id.to_int s = 1) replies);
+        Alcotest.(check int) "nothing outstanding" 0
+          (Groups.Client_server.outstanding client);
+        (* The request reached every server (uniform processing). *)
+        List.iter
+          (fun member ->
+            Alcotest.(check int) "2 requests processed" 2
+              (Urcgc.Member.processed_count member))
+          (Urcgc.Cluster.members cluster));
+    Alcotest.test_case "server crash: client fails over and still gets a reply"
+      `Slow (fun () ->
+        (* p1 crashes immediately; the request times out at the client and is
+           reissued to p2, which multicasts it and replies. *)
+        let fault =
+          Net.Fault.with_crashes [ (node 1, Sim.Ticks.of_int 10) ]
+            Net.Fault.reliable
+        in
+        let engine, net, cluster = build_cluster ~fault () in
+        let service = Groups.Client_server.create cluster ~net () in
+        let client =
+          Groups.Client_server.connect service ~client_id:(node 20)
+            ~retry_subruns:3 ~server:(node 1) ()
+        in
+        Urcgc.Cluster.start cluster;
+        let id = Groups.Client_server.submit client "important" in
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 25.0);
+        Alcotest.(check bool) "retried" true
+          (Groups.Client_server.retries client >= 1);
+        Alcotest.(check (list int)) "replied after failover" [ id ]
+          (List.map fst (Groups.Client_server.replies client));
+        Alcotest.(check int) "nothing outstanding" 0
+          (Groups.Client_server.outstanding client));
+    Alcotest.test_case "duplicate reissue does not double-process" `Quick
+      (fun () ->
+        (* Slow reply (lost on the edge): client reissues to the same group;
+           request id dedup means the group processes the body once. *)
+        let engine, net, cluster = build_cluster () in
+        let service = Groups.Client_server.create cluster ~net () in
+        let client =
+          Groups.Client_server.connect service ~client_id:(node 20)
+            ~retry_subruns:2 ~server:(node 1) ()
+        in
+        Urcgc.Cluster.start cluster;
+        ignore (Groups.Client_server.submit client "once");
+        (* Let it complete, then reissue manually by submitting the same id?
+           Not reachable through the API; instead check the group count under
+           normal operation stays 1 per request even with a retry window so
+           short that a retry fires while the first copy is in flight. *)
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 12.0);
+        let counts =
+          List.map Urcgc.Member.processed_count (Urcgc.Cluster.members cluster)
+        in
+        List.iter (fun c -> Alcotest.(check int) "processed once" 1 c) counts);
+  ]
+
+let suite =
+  [
+    ("groups.diffusion", diffusion_tests);
+    ("groups.client_server", client_server_tests);
+  ]

@@ -1,0 +1,242 @@
+(* Property tests of the agreement core: the coordinator's decision function
+   must maintain its invariants for arbitrary request sets, and the decision
+   chain must behave monotonically across subruns. *)
+
+let node n = Net.Node_id.of_int n
+
+(* Generator: a batch of requests for an n-process group, with arbitrary
+   last_processed vectors, waiting entries, and sender subsets. *)
+let request_gen n =
+  QCheck.Gen.(
+    let vector = array_size (return n) (int_bound 20) in
+    let waiting_entry = opt (int_range 1 20) in
+    let waiting = array_size (return n) waiting_entry in
+    let request sender =
+      map2
+        (fun last waiting ->
+          {
+            Urcgc.Wire.sender = node sender;
+            subrun = 0;
+            last_processed = last;
+            waiting =
+              Array.mapi
+                (fun j w ->
+                  Option.map (fun seq -> Causal.Mid.make ~origin:(node j) ~seq) w)
+                waiting;
+            prev_decision = Urcgc.Decision.initial ~n;
+          })
+        vector waiting
+    in
+    (* A random subset of senders, no duplicates. *)
+    list_size (int_bound n) (int_bound (n - 1)) >>= fun senders ->
+    let senders = List.sort_uniq compare senders in
+    flatten_l (List.map request senders))
+
+let arbitrary_requests n =
+  QCheck.make
+    ~print:(fun requests ->
+      String.concat ", "
+        (List.map
+           (fun (r : Urcgc.Wire.request) ->
+             Format.asprintf "%a" Net.Node_id.pp r.sender)
+           requests))
+    (request_gen n)
+
+let n = 5
+let config = Urcgc.Config.make ~n ~k:2 ()
+
+let compute ?(prev = Urcgc.Decision.initial ~n) ?(subrun = 0) requests =
+  Urcgc.Coordinator.compute ~config ~subrun ~coordinator:(node 0) ~prev
+    ~requests
+
+let coordinator_properties =
+  [
+    QCheck.Test.make ~name:"alive set never grows" ~count:300
+      (arbitrary_requests n)
+      (fun requests ->
+        let prev = Urcgc.Decision.initial ~n in
+        let d = compute ~prev requests in
+        Array.for_all2
+          (fun before after -> (not after) || before)
+          prev.Urcgc.Decision.alive d.Urcgc.Decision.alive);
+    QCheck.Test.make ~name:"attempts reset iff the process contributed"
+      ~count:300 (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        let contributed i =
+          List.exists
+            (fun (r : Urcgc.Wire.request) -> Net.Node_id.to_int r.sender = i)
+            requests
+        in
+        Array.for_all Fun.id
+          (Array.init n (fun i ->
+               if contributed i then d.Urcgc.Decision.attempts.(i) = 0
+               else d.Urcgc.Decision.attempts.(i) = 1)));
+    QCheck.Test.make
+      ~name:"stable never exceeds any contributor's last_processed" ~count:300
+      (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        (not d.Urcgc.Decision.full_group)
+        || List.for_all
+             (fun (r : Urcgc.Wire.request) ->
+               Array.for_all Fun.id
+                 (Array.init n (fun j ->
+                      d.Urcgc.Decision.stable.(j) <= r.last_processed.(j))))
+             requests);
+    QCheck.Test.make ~name:"max_processed is the max over contributors"
+      ~count:300 (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        Array.for_all Fun.id
+          (Array.init n (fun j ->
+               let contributed_max =
+                 List.fold_left
+                   (fun acc (r : Urcgc.Wire.request) ->
+                     max acc r.last_processed.(j))
+                   0 requests
+               in
+               d.Urcgc.Decision.max_processed.(j) >= contributed_max)));
+    QCheck.Test.make ~name:"most_updated's report backs max_processed"
+      ~count:300 (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        requests = []
+        || Array.for_all Fun.id
+             (Array.init n (fun j ->
+                  let holder = d.Urcgc.Decision.most_updated.(j) in
+                  match
+                    List.find_opt
+                      (fun (r : Urcgc.Wire.request) ->
+                        Net.Node_id.equal r.sender holder)
+                      requests
+                  with
+                  | Some r ->
+                      r.last_processed.(j) = d.Urcgc.Decision.max_processed.(j)
+                  | None ->
+                      (* holder from a previous subrun; here only possible
+                         when nothing was contributed for j *)
+                      d.Urcgc.Decision.max_processed.(j) = 0)));
+    QCheck.Test.make
+      ~name:"min_waiting on full coverage is a reported waiting seq" ~count:300
+      (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        (not d.Urcgc.Decision.full_group)
+        || Array.for_all Fun.id
+             (Array.init n (fun j ->
+                  d.Urcgc.Decision.min_waiting.(j) = 0
+                  || List.exists
+                       (fun (r : Urcgc.Wire.request) ->
+                         match r.waiting.(j) with
+                         | Some mid ->
+                             Causal.Mid.seq mid
+                             = d.Urcgc.Decision.min_waiting.(j)
+                         | None -> false)
+                       requests)));
+    QCheck.Test.make ~name:"full_group iff heard covers the alive set"
+      ~count:300 (arbitrary_requests n)
+      (fun requests ->
+        let d = compute requests in
+        let contributed i =
+          List.exists
+            (fun (r : Urcgc.Wire.request) -> Net.Node_id.to_int r.sender = i)
+            requests
+        in
+        d.Urcgc.Decision.full_group
+        = Array.for_all Fun.id
+            (Array.init n (fun i ->
+                 (not d.Urcgc.Decision.alive.(i)) || contributed i)));
+    QCheck.Test.make ~name:"stable is monotone across chained decisions"
+      ~count:200
+      QCheck.(pair (arbitrary_requests n) (arbitrary_requests n))
+      (fun (first, second) ->
+        let d1 = compute first in
+        let second =
+          List.map
+            (fun (r : Urcgc.Wire.request) ->
+              { r with Urcgc.Wire.subrun = 1; prev_decision = d1 })
+            second
+        in
+        let d2 = compute ~prev:d1 ~subrun:1 second in
+        Array.for_all2 ( <= ) d1.Urcgc.Decision.stable d2.Urcgc.Decision.stable);
+  ]
+
+(* Ticks roundtrip and arithmetic properties. *)
+let ticks_properties =
+  [
+    QCheck.Test.make ~name:"ticks: of_int/to_int roundtrip" ~count:500
+      QCheck.small_nat
+      (fun x -> Sim.Ticks.to_int (Sim.Ticks.of_int x) = x);
+    QCheck.Test.make ~name:"ticks: add is commutative and associative"
+      ~count:500
+      QCheck.(triple small_nat small_nat small_nat)
+      (fun (a, b, c) ->
+        let t = Sim.Ticks.of_int in
+        let open Sim.Ticks in
+        equal (add (t a) (t b)) (add (t b) (t a))
+        && equal (add (t a) (add (t b) (t c))) (add (add (t a) (t b)) (t c)));
+    QCheck.Test.make ~name:"ticks: diff inverts add" ~count:500
+      QCheck.(pair small_nat small_nat)
+      (fun (a, b) ->
+        let open Sim.Ticks in
+        equal (diff (add (of_int a) (of_int b)) (of_int b)) (of_int a));
+  ]
+
+(* Delivery-tracker properties. *)
+let delivery_properties =
+  [
+    QCheck.Test.make
+      ~name:"delivery: random mark order never violates the chain" ~count:200
+      QCheck.(small_list (pair (int_bound 3) (int_range 1 6)))
+      (fun attempts ->
+        let d = Causal.Delivery.create ~n:4 in
+        List.iter
+          (fun (o, s) ->
+            let s = max 1 s in
+            let mid = Causal.Mid.make ~origin:(node o) ~seq:s in
+            let next =
+              Causal.Delivery.last_processed d (node o) + 1 = s
+            in
+            match Causal.Delivery.mark d mid with
+            | () -> assert next
+            | exception Invalid_argument _ -> assert (not next))
+          attempts;
+        true);
+    QCheck.Test.make
+      ~name:"delivery: processable implies missing is empty and vice versa"
+      ~count:300
+      QCheck.(pair (int_bound 3) (int_range 1 4))
+      (fun (o, s) ->
+        (* QCheck shrinking can step outside int_range; clamp. *)
+        let s = max 1 s in
+        let d = Causal.Delivery.create ~n:4 in
+        (* advance some chains deterministically *)
+        for i = 1 to 2 do
+          Causal.Delivery.mark d (Causal.Mid.make ~origin:(node 0) ~seq:i)
+        done;
+        Causal.Delivery.mark d (Causal.Mid.make ~origin:(node 1) ~seq:1);
+        let msg =
+          Causal.Causal_msg.make
+            ~mid:(Causal.Mid.make ~origin:(node o) ~seq:s)
+            ~deps:
+              (if o = 3 then [ Causal.Mid.make ~origin:(node 0) ~seq:2 ]
+               else [])
+            ~payload_size:0 ()
+        in
+        (* For an already-processed mid "missing" is trivially empty but the
+           message is a duplicate, not processable; the equivalence holds
+           for new messages only. *)
+        Causal.Delivery.processed d msg.Causal.Causal_msg.mid
+        || Causal.Delivery.processable d msg
+           = (Causal.Delivery.missing d msg = []));
+  ]
+
+let to_alcotest tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ("props.coordinator", to_alcotest coordinator_properties);
+    ("props.ticks", to_alcotest ticks_properties);
+    ("props.delivery", to_alcotest delivery_properties);
+  ]

@@ -1,0 +1,73 @@
+(* Psync codec tests: size model equality, roundtrips, fuzz. *)
+
+let node n = Net.Node_id.of_int n
+let payload = Net.Bytebuf.string_codec
+let mid s q = { Psync.Context_graph.sender = node s; seq = q }
+
+let cg ?(preds = []) s q text =
+  {
+    Psync.Context_graph.mid = mid s q;
+    preds;
+    payload = text;
+    payload_size = String.length text;
+  }
+
+let bodies : string Psync.Wire.body list =
+  [
+    Psync.Wire.Msg (cg ~preds:[ mid 0 1; mid 2 4 ] 1 2 "stroke");
+    Psync.Wire.Msg (cg 3 1 "");
+    Psync.Wire.Retrans_req { requester = node 2; wanted = mid 0 9 };
+    Psync.Wire.Retrans_reply (cg ~preds:[ mid 1 1 ] 0 2 "again");
+    Psync.Wire.Keepalive;
+    Psync.Wire.Mask_out { target = node 3; initiator = node 0 };
+    Psync.Wire.Mask_ack { target = node 3 };
+    Psync.Wire.Mask_done { target = node 3 };
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "encoded length equals Wire.body_size" `Quick (fun () ->
+        List.iter
+          (fun body ->
+            Alcotest.(check int)
+              (Format.asprintf "%a" Psync.Wire.pp_body body)
+              (Psync.Wire.body_size body)
+              (Bytes.length (Psync.Ps_codec.encode_body payload body)))
+          bodies);
+    Alcotest.test_case "every PDU roundtrips to identical bytes" `Quick
+      (fun () ->
+        List.iter
+          (fun body ->
+            let raw = Psync.Ps_codec.encode_body payload body in
+            match Psync.Ps_codec.decode_body payload raw with
+            | Error e -> Alcotest.failf "decode: %s" e
+            | Ok decoded ->
+                Alcotest.(check bool)
+                  (Format.asprintf "%a" Psync.Wire.pp_body body)
+                  true
+                  (Bytes.equal raw
+                     (Psync.Ps_codec.encode_body payload decoded)))
+          bodies);
+    Alcotest.test_case "predecessors survive the roundtrip" `Quick (fun () ->
+        let body = Psync.Wire.Msg (cg ~preds:[ mid 0 1; mid 2 4 ] 1 2 "s") in
+        match
+          Psync.Ps_codec.decode_body payload
+            (Psync.Ps_codec.encode_body payload body)
+        with
+        | Ok (Psync.Wire.Msg node) ->
+            Alcotest.(check int) "2 preds" 2
+              (List.length node.Psync.Context_graph.preds)
+        | Ok _ -> Alcotest.fail "wrong variant"
+        | Error e -> Alcotest.fail e);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"psync decoder never raises on garbage"
+         ~count:500
+         (QCheck.make
+            ~print:(fun b -> Printf.sprintf "%d bytes" (Bytes.length b))
+            QCheck.Gen.(map Bytes.of_string (string_size (int_bound 120))))
+         (fun raw ->
+           match Psync.Ps_codec.decode_body payload raw with
+           | Ok _ | Error _ -> true));
+  ]
+
+let suite = [ ("ps_codec", tests) ]

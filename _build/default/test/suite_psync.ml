@@ -1,0 +1,124 @@
+(* Tests for the Psync baseline: the context graph and end-to-end runs. *)
+
+let node n = Net.Node_id.of_int n
+let mid s q = { Psync.Context_graph.sender = node s; seq = q }
+
+let cg_node ?(preds = []) s q =
+  { Psync.Context_graph.mid = mid s q; preds; payload = (s, q); payload_size = 4 }
+
+let graph_tests =
+  [
+    Alcotest.test_case "attach a root message" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        (match Psync.Context_graph.attach g (cg_node 0 1) with
+        | Ok [ n ] ->
+            Alcotest.(check int) "the node itself" 1 n.Psync.Context_graph.mid.seq
+        | Ok _ | Error _ -> Alcotest.fail "expected Ok [node]");
+        Alcotest.(check int) "attached" 1 (Psync.Context_graph.attached g);
+        Alcotest.(check int) "one leaf" 1
+          (List.length (Psync.Context_graph.leaves g)));
+    Alcotest.test_case "missing predecessor parks the node" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        (match Psync.Context_graph.attach g (cg_node ~preds:[ mid 0 1 ] 1 1) with
+        | Error [ m ] -> Alcotest.(check int) "missing 0~1" 1 m.Psync.Context_graph.seq
+        | Error _ | Ok _ -> Alcotest.fail "expected Error [mid]");
+        Alcotest.(check int) "pending" 1 (Psync.Context_graph.pending g);
+        (* Arrival of the predecessor unblocks it. *)
+        match Psync.Context_graph.attach g (cg_node 0 1) with
+        | Ok attached ->
+            Alcotest.(check int) "both attached" 2 (List.length attached);
+            Alcotest.(check int) "nothing pending" 0 (Psync.Context_graph.pending g)
+        | Error _ -> Alcotest.fail "expected Ok");
+    Alcotest.test_case "leaves replace their predecessors" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        ignore (Psync.Context_graph.attach g (cg_node 0 1));
+        ignore (Psync.Context_graph.attach g (cg_node 1 1));
+        Alcotest.(check int) "two leaves" 2
+          (List.length (Psync.Context_graph.leaves g));
+        ignore
+          (Psync.Context_graph.attach g
+             (cg_node ~preds:[ mid 0 1; mid 1 1 ] 2 1));
+        let leaves = Psync.Context_graph.leaves g in
+        Alcotest.(check int) "one leaf" 1 (List.length leaves);
+        Alcotest.(check int) "it is 2~1" 2
+          (Net.Node_id.to_int (List.hd leaves).Psync.Context_graph.sender));
+    Alcotest.test_case "attach is idempotent" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        ignore (Psync.Context_graph.attach g (cg_node 0 1));
+        (match Psync.Context_graph.attach g (cg_node 0 1) with
+        | Ok [] -> ()
+        | Ok _ | Error _ -> Alcotest.fail "duplicate should attach nothing");
+        Alcotest.(check int) "still 1" 1 (Psync.Context_graph.attached g));
+    Alcotest.test_case "flow control drops newest pending" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        List.iter
+          (fun q ->
+            ignore
+              (Psync.Context_graph.attach g (cg_node ~preds:[ mid 0 99 ] 1 q)))
+          [ 1; 2; 3; 4 ];
+        let dropped = Psync.Context_graph.pending_drop_newest g 2 in
+        Alcotest.(check int) "2 dropped" 2 (List.length dropped);
+        Alcotest.(check int) "2 kept" 2 (Psync.Context_graph.pending g);
+        (* The newest (highest-mid) ones go first. *)
+        Alcotest.(check (list int)) "dropped 3,4" [ 3; 4 ]
+          (List.sort compare
+             (List.map (fun m -> m.Psync.Context_graph.seq) dropped)));
+    Alcotest.test_case "find returns attached nodes only" `Quick (fun () ->
+        let g = Psync.Context_graph.create () in
+        ignore (Psync.Context_graph.attach g (cg_node 0 1));
+        ignore (Psync.Context_graph.attach g (cg_node ~preds:[ mid 5 5 ] 1 1));
+        Alcotest.(check bool) "attached found" true
+          (Psync.Context_graph.find g (mid 0 1) <> None);
+        Alcotest.(check bool) "pending not found" true
+          (Psync.Context_graph.find g (mid 1 1) = None));
+  ]
+
+let run_ps ?(n = 8) ?(k = 3) ?(rate = 0.5) ?(messages = 60) ?pending_bound
+    ?(fault = Net.Fault.reliable) ?(seed = 42) ?(max_rtd = 150.0) () =
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  Workload.Runner_psync.run ~n ~k ?pending_bound ~load ~fault ~seed ~max_rtd ()
+
+let e2e_tests =
+  [
+    Alcotest.test_case "reliable conversation delivers causally" `Slow
+      (fun () ->
+        let r = run_ps () in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_psync.causal_ok;
+        Alcotest.(check int) "all delivered" (60 * 7)
+          r.Workload.Runner_psync.delivered_remote;
+        Alcotest.(check int) "no recovery needed" 0
+          r.Workload.Runner_psync.recovery_msgs);
+    Alcotest.test_case "losses repaired by retransmission requests" `Slow
+      (fun () ->
+        let r =
+          run_ps ~fault:(Net.Fault.omission_every 150) ~messages:80
+            ~max_rtd:80.0 ()
+        in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_psync.causal_ok;
+        Alcotest.(check bool) "recovery traffic" true
+          (r.Workload.Runner_psync.recovery_msgs > 0));
+    Alcotest.test_case "crash leads to mask_out" `Slow (fun () ->
+        let fault =
+          Net.Fault.with_crashes
+            [ (node 2, Sim.Ticks.of_int 401) ]
+            Net.Fault.reliable
+        in
+        let r = run_ps ~fault ~max_rtd:100.0 () in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_psync.causal_ok;
+        Alcotest.(check bool) "masked out" true
+          (r.Workload.Runner_psync.masked > 0));
+    Alcotest.test_case "pending bound truncates (their flow control)" `Slow
+      (fun () ->
+        (* Heavy loss + a tiny pending bound: truncation must kick in
+           without breaking causal order of what is delivered. *)
+        let r =
+          run_ps ~pending_bound:2
+            ~fault:{ Net.Fault.reliable with link_loss = 0.15 }
+            ~rate:1.0 ~messages:120 ~max_rtd:60.0 ()
+        in
+        Alcotest.(check bool) "causal" true r.Workload.Runner_psync.causal_ok;
+        Alcotest.(check bool) "bounded pending" true
+          (r.Workload.Runner_psync.pending_peak <= 2 + 8));
+  ]
+
+let suite = [ ("psync.graph", graph_tests); ("psync.e2e", e2e_tests) ]

@@ -1,0 +1,202 @@
+(* Tests for the adversarial burst fault mode and the membership behaviour
+   around it. *)
+
+let node n = Net.Node_id.of_int n
+
+let fault_tests =
+  [
+    Alcotest.test_case "validation" `Quick (fun () ->
+        Alcotest.check_raises "count = population"
+          (Invalid_argument
+             "Fault.with_subrun_silence: count must be in [0, population)")
+          (fun () ->
+            ignore
+              (Net.Fault.with_subrun_silence ~count:4 ~population:4
+                 Net.Fault.reliable)));
+    Alcotest.test_case "exactly s processes are silenced each subrun" `Quick
+      (fun () ->
+        let spec =
+          Net.Fault.with_subrun_silence ~count:3 ~population:10
+            Net.Fault.reliable
+        in
+        let fault = Net.Fault.create spec ~rng:(Sim.Rng.create ~seed:8) in
+        List.iter
+          (fun subrun ->
+            let now = Sim.Ticks.of_int (subrun * Sim.Ticks.per_rtd) in
+            let silenced =
+              List.filter
+                (fun i -> Net.Fault.drop_on_send fault ~now (node i))
+                (List.init 10 Fun.id)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "subrun %d" subrun)
+              3 (List.length silenced))
+          [ 0; 1; 2; 3; 4 ]);
+    Alcotest.test_case "the silenced set is stable within a subrun" `Quick
+      (fun () ->
+        let spec =
+          Net.Fault.with_subrun_silence ~count:2 ~population:6
+            Net.Fault.reliable
+        in
+        let fault = Net.Fault.create spec ~rng:(Sim.Rng.create ~seed:8) in
+        let sample at =
+          List.filter
+            (fun i -> Net.Fault.drop_on_send fault ~now:(Sim.Ticks.of_int at) (node i))
+            (List.init 6 Fun.id)
+        in
+        let early = sample 0 in
+        let late = sample (Sim.Ticks.per_rtd - 1) in
+        Alcotest.(check (list int)) "same set" early late);
+    Alcotest.test_case "sets vary across subruns" `Quick (fun () ->
+        let spec =
+          Net.Fault.with_subrun_silence ~count:2 ~population:8
+            Net.Fault.reliable
+        in
+        let fault = Net.Fault.create spec ~rng:(Sim.Rng.create ~seed:8) in
+        let sample subrun =
+          List.filter
+            (fun i ->
+              Net.Fault.drop_on_send fault
+                ~now:(Sim.Ticks.of_int (subrun * Sim.Ticks.per_rtd))
+                (node i))
+            (List.init 8 Fun.id)
+        in
+        let sets = List.map sample [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        Alcotest.(check bool) "not all identical" true
+          (List.exists (fun s -> s <> List.hd sets) sets);
+        Alcotest.(check bool) "receive side untouched" false
+          (Net.Fault.drop_on_recv fault ~now:Sim.Ticks.zero (node 0)));
+  ]
+
+let membership_tests =
+  [
+    Alcotest.test_case
+      "bursts below the detection window cause no expulsions" `Slow (fun () ->
+        (* s = 1 of 8, K = 3: a process would need 3 consecutive hits,
+           p = (1/8)^3 per window — with ~20 subruns a run stays clean. *)
+        let config = Urcgc.Config.make ~k:3 ~n:8 () in
+        let load = Workload.Load.make ~rate:0.4 ~total_messages:60 () in
+        let fault =
+          Net.Fault.with_subrun_silence ~count:1 ~population:8
+            Net.Fault.reliable
+        in
+        let scenario =
+          Workload.Scenario.make ~name:"burst-light" ~fault ~seed:42
+            ~max_rtd:200.0 ~config ~load ()
+        in
+        let report = Workload.Runner.run scenario in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict);
+        Alcotest.(check int) "no expulsions" 0
+          (List.length report.Workload.Runner.departures);
+        Alcotest.(check int) "everything delivered" (60 * 7)
+          report.Workload.Runner.delivered_remote);
+    Alcotest.test_case
+      "a falsely declared process leaves by itself (silence timeout)" `Slow
+      (fun () ->
+        (* Silence p5's sends for K consecutive subruns with a scripted
+           filter: the group declares it crashed; p5, cut off from further
+           decisions, must leave autonomously via its silence limit. *)
+        let engine = Sim.Engine.create () in
+        let rng = Sim.Rng.create ~seed:9 in
+        let fault = Net.Fault.create Net.Fault.reliable ~rng:(Sim.Rng.split rng) in
+        let net = Net.Netsim.create engine ~fault ~rng:(Sim.Rng.split rng) () in
+        let config = Urcgc.Config.make ~k:2 ~silence_limit:4 ~n:6 () in
+        let cluster = Urcgc.Cluster.create ~config ~net () in
+        Net.Netsim.set_filter net
+          (Some
+             (fun packet ->
+               let from_p5 = Net.Node_id.to_int packet.Net.Netsim.src = 5 in
+               let subrun =
+                 Sim.Ticks.to_int (Sim.Engine.now engine) / Sim.Ticks.per_rtd
+               in
+               not (from_p5 && subrun >= 2 && subrun < 5)));
+        Urcgc.Cluster.start cluster;
+        Sim.Engine.run engine ~until:(Sim.Ticks.of_rtd 20.0);
+        let departures = Urcgc.Cluster.departures cluster in
+        Alcotest.(check int) "p5 left" 1 (List.length departures);
+        (match departures with
+        | [ { Urcgc.Cluster.who; why; _ } ] ->
+            Alcotest.(check int) "it was p5" 5 (Net.Node_id.to_int who);
+            Alcotest.(check bool) "by silence or suicide" true
+              (why = Urcgc.Member.Decision_silence
+              || why = Urcgc.Member.Declared_crashed)
+        | _ -> Alcotest.fail "expected exactly one departure");
+        (* Survivors agree that p5 is out. *)
+        List.iter
+          (fun member ->
+            if Urcgc.Member.active member then
+              Alcotest.(check bool) "view excludes p5" false
+                (Causal.Group_view.alive (Urcgc.Member.view member) (node 5)))
+          (Urcgc.Cluster.members cluster));
+  ]
+
+(* urgc sequencing properties. *)
+let urgc_properties =
+  let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s in
+  let request ~sender ~unsequenced ~processed prev =
+    {
+      Urgc.Total_wire.sender = node sender;
+      subrun = 0;
+      unsequenced;
+      processed_upto = processed;
+      prev_decision = prev;
+    }
+  in
+  [
+    QCheck.Test.make ~name:"urgc: assignments are gap-free and unique"
+      ~count:200
+      QCheck.(small_list (pair (int_bound 3) (int_range 1 9)))
+      (fun raw ->
+        let prev = Urgc.Total_decision.initial ~n:4 in
+        let unsequenced =
+          List.map (fun (o, s) -> mid o (max 1 s)) raw
+          |> List.sort_uniq Causal.Mid.compare
+        in
+        let d =
+          Urgc.Total_coordinator.compute ~n:4 ~k:2 ~subrun:0
+            ~coordinator:(node 0) ~prev
+            ~requests:[ request ~sender:0 ~unsequenced ~processed:0 prev ]
+        in
+        let count = Array.length d.Urgc.Total_decision.assignments in
+        count = List.length unsequenced
+        && d.Urgc.Total_decision.next_seq = count + 1
+        && List.length
+             (List.sort_uniq Causal.Mid.compare
+                (Array.to_list d.Urgc.Total_decision.assignments))
+           = count);
+    QCheck.Test.make
+      ~name:"urgc: stable_seq never exceeds any contributor's processed point"
+      ~count:200
+      QCheck.(pair (int_bound 8) (int_bound 8))
+      (fun (a, b) ->
+        let prev = Urgc.Total_decision.initial ~n:2 in
+        (* Assign enough sequence numbers first so processed points exist. *)
+        let seeded =
+          Urgc.Total_coordinator.compute ~n:2 ~k:2 ~subrun:0
+            ~coordinator:(node 0) ~prev
+            ~requests:
+              [
+                request ~sender:0
+                  ~unsequenced:(List.init 10 (fun i -> mid 0 (i + 1)))
+                  ~processed:0 prev;
+              ]
+        in
+        let d =
+          Urgc.Total_coordinator.compute ~n:2 ~k:2 ~subrun:1
+            ~coordinator:(node 1) ~prev:seeded
+            ~requests:
+              [
+                request ~sender:0 ~unsequenced:[] ~processed:a seeded;
+                request ~sender:1 ~unsequenced:[] ~processed:b seeded;
+              ]
+        in
+        d.Urgc.Total_decision.stable_seq <= min a b);
+  ]
+
+let suite =
+  [
+    ("resilience.fault", fault_tests);
+    ("resilience.membership", membership_tests);
+    ("urgc.props", List.map QCheck_alcotest.to_alcotest urgc_properties);
+  ]

@@ -1,0 +1,112 @@
+(* Degenerate group sizes and flow-control hysteresis: the corners where
+   vector-indexed protocols usually break. *)
+
+let node n = Net.Node_id.of_int n
+
+let run ?(n = 2) ?(k = 2) ?(rate = 0.6) ?(messages = 20) ?flow_threshold
+    ?(fault = Net.Fault.reliable) ?(seed = 42) () =
+  let config = Urcgc.Config.make ~k ?flow_threshold ~n () in
+  let load = Workload.Load.make ~rate ~total_messages:messages () in
+  let scenario =
+    Workload.Scenario.make ~name:"small" ~fault ~seed ~max_rtd:120.0 ~config
+      ~load ()
+  in
+  Workload.Runner.run scenario
+
+let small_group_tests =
+  [
+    Alcotest.test_case "a singleton group talks to itself" `Quick (fun () ->
+        let report = run ~n:1 ~k:1 ~messages:10 () in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict);
+        Alcotest.(check int) "generated all" 10 report.Workload.Runner.generated;
+        (* Nothing is remote in a singleton group. *)
+        Alcotest.(check int) "no remote deliveries" 0
+          report.Workload.Runner.delivered_remote);
+    Alcotest.test_case "a pair group works" `Quick (fun () ->
+        let report = run ~n:2 () in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict);
+        Alcotest.(check int) "all cross-delivered" 20
+          report.Workload.Runner.delivered_remote);
+    Alcotest.test_case "a pair group survives one crash" `Quick (fun () ->
+        let fault =
+          Net.Fault.with_crashes
+            [ (node 1, Sim.Ticks.of_int 401) ]
+            Net.Fault.reliable
+        in
+        let report = run ~n:2 ~fault () in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict);
+        (* The survivor must keep making progress alone: its own later
+           messages confirm and process locally. *)
+        Alcotest.(check bool) "kept generating" true
+          (report.Workload.Runner.generated > 5));
+    Alcotest.test_case "n = 3 with omissions" `Quick (fun () ->
+        let report =
+          run ~n:3 ~fault:(Net.Fault.omission_every 60) ~messages:40 ()
+        in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict));
+  ]
+
+let flow_tests =
+  [
+    Alcotest.test_case "flow control resumes after the history is purged"
+      `Quick (fun () ->
+        (* Threshold 4 with a fast group: generation must block and unblock
+           repeatedly, and still everything flows through. *)
+        let report =
+          run ~n:3 ~k:2 ~rate:1.0 ~messages:30 ~flow_threshold:(Some 4) ()
+        in
+        Alcotest.(check bool) "invariants" true
+          (Workload.Checker.ok report.Workload.Runner.verdict);
+        Alcotest.(check int) "everything eventually generated" 30
+          report.Workload.Runner.generated;
+        Alcotest.(check int) "everything delivered" 60
+          report.Workload.Runner.delivered_remote;
+        Alcotest.(check bool) "the bound held (with one subrun of slack)" true
+          (report.Workload.Runner.history_peak <= 4 + 6));
+    Alcotest.test_case "member flow flag toggles off below the threshold"
+      `Quick (fun () ->
+        let config = Urcgc.Config.make ~n:3 ~k:2 ~flow_threshold:(Some 2) () in
+        let m : string Urcgc.Member.t =
+          Urcgc.Member.create config (node 1)
+        in
+        let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s in
+        List.iter
+          (fun s ->
+            ignore
+              (Urcgc.Member.handle m
+                 (Urcgc.Wire.Data
+                    (Causal.Causal_msg.make ~mid:(mid 0 s) ~deps:[]
+                       ~payload_size:1 "x"))))
+          [ 1; 2 ];
+        Urcgc.Member.submit m "blocked";
+        ignore (Urcgc.Member.begin_subrun m ~subrun:0);
+        Alcotest.(check bool) "blocked at threshold" true
+          (Urcgc.Member.flow_blocked m);
+        (* A full-group decision purges the history; the next round must
+           unblock and send. *)
+        let d0 = Urcgc.Decision.initial ~n:3 in
+        let d =
+          {
+            d0 with
+            Urcgc.Decision.subrun = 0;
+            full_group = true;
+            stable = [| 2; 0; 0 |];
+          }
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu d));
+        let actions = Urcgc.Member.mid_subrun m ~subrun:0 in
+        Alcotest.(check bool) "unblocked and sent" true
+          (List.exists
+             (function
+               | Urcgc.Member.Broadcast (Urcgc.Wire.Data _) -> true
+               | _ -> false)
+             actions);
+        Alcotest.(check bool) "flag cleared" false (Urcgc.Member.flow_blocked m));
+  ]
+
+let suite =
+  [ ("urcgc.small_groups", small_group_tests); ("urcgc.flow", flow_tests) ]

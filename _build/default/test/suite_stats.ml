@@ -1,0 +1,157 @@
+(* Tests for the statistics toolkit and the paper's analytic formulas. *)
+
+let summary_tests =
+  [
+    Alcotest.test_case "empty sample" `Quick (fun () ->
+        let s = Stats.Summary.of_list [] in
+        Alcotest.(check int) "count" 0 s.Stats.Summary.count;
+        Alcotest.(check (float 1e-9)) "mean" 0.0 s.Stats.Summary.mean);
+    Alcotest.test_case "mean, min, max, stddev" `Quick (fun () ->
+        let s = Stats.Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.Summary.mean;
+        Alcotest.(check (float 1e-9)) "sd" 2.0 s.Stats.Summary.stddev;
+        Alcotest.(check (float 1e-9)) "min" 2.0 s.Stats.Summary.min;
+        Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.Summary.max);
+    Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
+        let sorted = [| 10.0; 20.0; 30.0; 40.0 |] in
+        Alcotest.(check (float 1e-9)) "p50" 25.0
+          (Stats.Summary.percentile sorted 0.5);
+        Alcotest.(check (float 1e-9)) "p0" 10.0
+          (Stats.Summary.percentile sorted 0.0);
+        Alcotest.(check (float 1e-9)) "p100" 40.0
+          (Stats.Summary.percentile sorted 1.0));
+    Alcotest.test_case "percentile validates input" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Summary.percentile: empty sample") (fun () ->
+            ignore (Stats.Summary.percentile [||] 0.5));
+        Alcotest.check_raises "q"
+          (Invalid_argument "Summary.percentile: q out of range") (fun () ->
+            ignore (Stats.Summary.percentile [| 1.0 |] 1.5)));
+    Alcotest.test_case "of_ints" `Quick (fun () ->
+        let s = Stats.Summary.of_ints [ 1; 2; 3 ] in
+        Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.Summary.mean);
+  ]
+
+let series_tests =
+  [
+    Alcotest.test_case "y_at exact lookup" `Quick (fun () ->
+        let s = Stats.Series.make ~label:"t" [ (1.0, 10.0); (2.0, 20.0) ] in
+        Alcotest.(check (option (float 1e-9))) "hit" (Some 20.0)
+          (Stats.Series.y_at s 2.0);
+        Alcotest.(check (option (float 1e-9))) "miss" None
+          (Stats.Series.y_at s 3.0));
+    Alcotest.test_case "y_max and map_y" `Quick (fun () ->
+        let s = Stats.Series.of_ints ~label:"t" [ (0, 3); (1, 7); (2, 5) ] in
+        Alcotest.(check (float 1e-9)) "max" 7.0 (Stats.Series.y_max s);
+        let doubled = Stats.Series.map_y s ~f:(fun y -> 2.0 *. y) in
+        Alcotest.(check (float 1e-9)) "max doubled" 14.0
+          (Stats.Series.y_max doubled));
+    Alcotest.test_case "pp_table renders aligned rows" `Quick (fun () ->
+        let a = Stats.Series.of_ints ~label:"a" [ (0, 1); (1, 2) ] in
+        let b = Stats.Series.of_ints ~label:"b" [ (0, 3) ] in
+        let out = Format.asprintf "%a" Stats.Series.pp_table [ a; b ] in
+        Alcotest.(check bool) "has header" true
+          (String.length out > 0
+          &&
+          let lines = String.split_on_char '\n' out in
+          List.length lines >= 3);
+        (* the hole in series b renders as '-' *)
+        Alcotest.(check bool) "hole marked" true
+          (String.contains out '-'));
+    Alcotest.test_case "ascii_plot does not crash on edge inputs" `Quick
+      (fun () ->
+        let empty = Stats.Series.make ~label:"e" [] in
+        let single = Stats.Series.make ~label:"s" [ (1.0, 1.0) ] in
+        ignore (Format.asprintf "%a" (Stats.Series.ascii_plot ~width:20 ~height:5) [ empty ]);
+        ignore
+          (Format.asprintf "%a" (Stats.Series.ascii_plot ~width:20 ~height:5) [ single ]));
+  ]
+
+let table_tests =
+  [
+    Alcotest.test_case "renders aligned cells" `Quick (fun () ->
+        let t =
+          Stats.Table.create
+            ~columns:[ ("name", Stats.Table.Left); ("value", Stats.Table.Right) ]
+        in
+        Stats.Table.add_row t [ "alpha"; "1" ];
+        Stats.Table.add_rule t;
+        Stats.Table.add_row t [ "b"; "100" ];
+        let out = Format.asprintf "%a" Stats.Table.pp t in
+        Alcotest.(check bool) "contains alpha" true
+          (Astring_contains.contains out "alpha");
+        Alcotest.(check bool) "right aligned value" true
+          (Astring_contains.contains out "|     1 |"));
+    Alcotest.test_case "rejects wrong arity" `Quick (fun () ->
+        let t = Stats.Table.create ~columns:[ ("a", Stats.Table.Left) ] in
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+            Stats.Table.add_row t [ "x"; "y" ]));
+    Alcotest.test_case "cell formatting" `Quick (fun () ->
+        Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
+        Alcotest.(check string) "float" "3.14"
+          (Stats.Table.cell_float ~decimals:2 3.14159));
+  ]
+
+let analytic_tests =
+  [
+    Alcotest.test_case "Table 1 formulas at the paper's n=15, K=3" `Quick
+      (fun () ->
+        Alcotest.(check int) "urcgc reliable msgs" 28
+          (Stats.Analytic.urcgc_control_msgs_reliable ~n:15);
+        Alcotest.(check int) "cbcast reliable msgs" 16
+          (Stats.Analytic.cbcast_control_msgs_reliable ~n:15);
+        Alcotest.(check int) "cbcast reliable size" 64
+          (Stats.Analytic.cbcast_msg_size_reliable ~n:15);
+        Alcotest.(check int) "cbcast flush size" 56
+          (Stats.Analytic.cbcast_flush_size ~n:15);
+        Alcotest.(check int) "urcgc crash msgs (f=0)" 168
+          (Stats.Analytic.urcgc_control_msgs_crash ~n:15 ~k:3 ~f:0);
+        Alcotest.(check int) "cbcast crash msgs (f=0)" 84
+          (Stats.Analytic.cbcast_control_msgs_crash ~n:15 ~k:3 ~f:0));
+    Alcotest.test_case "Figure 5 slopes" `Quick (fun () ->
+        (* urcgc: 2K + f — slope 1 in f.  CBCAST: K(5f+6) — slope 5K. *)
+        let u0 = Stats.Analytic.urcgc_recovery_time ~k:3 ~f:0 in
+        let u1 = Stats.Analytic.urcgc_recovery_time ~k:3 ~f:1 in
+        let c0 = Stats.Analytic.cbcast_recovery_time ~k:3 ~f:0 in
+        let c1 = Stats.Analytic.cbcast_recovery_time ~k:3 ~f:1 in
+        Alcotest.(check int) "urcgc slope 1" 1 (u1 - u0);
+        Alcotest.(check int) "cbcast slope 5K" 15 (c1 - c0);
+        Alcotest.(check int) "urcgc f=0 is 2K" 6 u0;
+        Alcotest.(check int) "cbcast f=0 is 6K" 18 c0);
+    Alcotest.test_case "history bounds" `Quick (fun () ->
+        Alcotest.(check int) "reliable 2n" 80
+          (Stats.Analytic.urcgc_history_bound_reliable ~n:40);
+        Alcotest.(check int) "faulty 2(2K+f)n" 560
+          (Stats.Analytic.urcgc_history_bound ~n:40 ~k:3 ~f:1));
+    Alcotest.test_case "a urcgc control message fits an IP datagram at n=15"
+      `Quick (fun () ->
+        let d = Urcgc.Decision.initial ~n:15 in
+        let r =
+          {
+            Urcgc.Wire.sender = Net.Node_id.of_int 1;
+            subrun = 0;
+            last_processed = Array.make 15 0;
+            waiting = Array.make 15 None;
+            prev_decision = d;
+          }
+        in
+        Alcotest.(check bool) "request fits" true
+          (Urcgc.Wire.request_size r <= Stats.Analytic.ip_min_datagram);
+        Alcotest.(check bool) "decision fits" true
+          (4 + Urcgc.Decision.encoded_size d <= Stats.Analytic.ip_min_datagram));
+    Alcotest.test_case "a urcgc control message fits an Ethernet frame at n=40"
+      `Quick (fun () ->
+        let d = Urcgc.Decision.initial ~n:40 in
+        Alcotest.(check bool) "fits" true
+          (4 + Urcgc.Decision.encoded_size d
+          <= Stats.Analytic.ethernet_max_payload));
+  ]
+
+let suite =
+  [
+    ("stats.summary", summary_tests);
+    ("stats.series", series_tests);
+    ("stats.table", table_tests);
+    ("stats.analytic", analytic_tests);
+  ]

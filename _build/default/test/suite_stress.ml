@@ -1,0 +1,75 @@
+(* Large-group stress under mixed faults: the paper's n = 40 setting with
+   crashes, omissions and flow control all active at once, checked against
+   every invariant.  One heavyweight scenario, marked Slow. *)
+
+let node n = Net.Node_id.of_int n
+
+let tests =
+  [
+    Alcotest.test_case "n = 40 mixed-fault campaign stays correct" `Slow
+      (fun () ->
+        let n = 40 in
+        let config =
+          Urcgc.Config.make ~k:3 ~flow_threshold:(Some (8 * n)) ~n ()
+        in
+        let load = Workload.Load.make ~rate:0.5 ~total_messages:600 () in
+        let fault =
+          Net.Fault.with_crashes
+            [
+              (node 7, Sim.Ticks.of_int ((3 * Sim.Ticks.per_rtd) + 1));
+              (node 21, Sim.Ticks.of_int ((6 * Sim.Ticks.per_rtd) + 1));
+              (* the coordinator of subrun 9 *)
+              (node 9, Sim.Ticks.of_int ((9 * Sim.Ticks.per_rtd) + 1));
+            ]
+            (Net.Fault.omission_every 400)
+        in
+        let scenario =
+          Workload.Scenario.make ~name:"stress-40" ~fault ~seed:2026
+            ~max_rtd:300.0 ~config ~load ()
+        in
+        let report = Workload.Runner.run scenario in
+        if not (Workload.Checker.ok report.Workload.Runner.verdict) then
+          Alcotest.failf "invariants: %s"
+            (String.concat "; "
+               report.Workload.Runner.verdict.Workload.Checker.violations);
+        (* A few submissions land in the SAP queues of processes that crash
+           before the next round; everything accepted by a survivor must be
+           labelled and broadcast. *)
+        Alcotest.(check bool) "nearly all 600 generated" true
+          (report.Workload.Runner.generated >= 550);
+        Alcotest.(check int) "one group at the end" 1
+          report.Workload.Runner.fragments;
+        Alcotest.(check bool) "history stayed within the flow bound" true
+          (report.Workload.Runner.history_peak <= (8 * n) + (2 * n));
+        Alcotest.(check bool) "delay stayed causal-service-like" true
+          (Workload.Runner.mean_delay_rtd report < 1.0);
+        (* Only the three injected crashes may be out of the group. *)
+        Alcotest.(check bool) "at most 3 departures (the crashed, learning)"
+          true
+          (List.length report.Workload.Runner.departures <= 3));
+    Alcotest.test_case "determinism at scale: identical reruns" `Slow
+      (fun () ->
+        let run () =
+          let config = Urcgc.Config.make ~k:3 ~n:20 () in
+          let load = Workload.Load.make ~rate:0.6 ~total_messages:200 () in
+          let fault =
+            Net.Fault.with_crashes
+              [ (node 5, Sim.Ticks.of_int 501) ]
+              (Net.Fault.omission_every 250)
+          in
+          let scenario =
+            Workload.Scenario.make ~name:"det" ~fault ~seed:7 ~max_rtd:200.0
+              ~config ~load ()
+          in
+          let r = Workload.Runner.run scenario in
+          ( r.Workload.Runner.delivered_remote,
+            r.Workload.Runner.control_bytes,
+            r.Workload.Runner.history_peak,
+            r.Workload.Runner.completion_rtd )
+        in
+        let a = run () in
+        let b = run () in
+        Alcotest.(check bool) "bitwise identical reports" true (a = b));
+  ]
+
+let suite = [ ("stress", tests) ]

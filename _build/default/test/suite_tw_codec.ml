@@ -1,0 +1,94 @@
+(* urgc codec tests: size model equality, roundtrips, fuzz. *)
+
+let node n = Net.Node_id.of_int n
+let payload = Net.Bytebuf.string_codec
+let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s
+
+let data o s text =
+  { Urgc.Total_wire.mid = mid o s; payload = text; payload_size = String.length text }
+
+let sample_decision n =
+  {
+    Urgc.Total_decision.subrun = 4;
+    coordinator = node 1;
+    next_seq = 5;
+    first_assigned = 2;
+    assignments = [| mid 0 1; mid 2 1; mid 1 3 |];
+    stable_seq = 1;
+    full_group = true;
+    attempts = Array.init n (fun i -> i mod 2);
+    alive = Array.init n (fun i -> i <> 2);
+    heard = Array.init n (fun i -> i mod 2 = 0);
+    acc_processed = Array.init n (fun i -> if i = 0 then max_int else i);
+  }
+
+let bodies n : string Urgc.Total_wire.body list =
+  [
+    Urgc.Total_wire.Data (data 1 4 "entry");
+    Urgc.Total_wire.Request
+      {
+        sender = node 2;
+        subrun = 6;
+        unsequenced = [ mid 0 2; mid 3 1 ];
+        processed_upto = 3;
+        prev_decision = sample_decision n;
+      };
+    Urgc.Total_wire.Decision_pdu (sample_decision n);
+    Urgc.Total_wire.Recover_req { requester = node 0; from_seq = 2; to_seq = 9 };
+    Urgc.Total_wire.Recover_reply
+      { responder = node 1; messages = [ (2, data 0 1 "a"); (3, data 2 1 "") ] };
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "encoded length equals Total_wire.body_size" `Quick
+      (fun () ->
+        List.iter
+          (fun body ->
+            Alcotest.(check int)
+              (Format.asprintf "%a" Urgc.Total_wire.pp_body body)
+              (Urgc.Total_wire.body_size body)
+              (Bytes.length (Urgc.Tw_codec.encode_body payload body)))
+          (bodies 5));
+    Alcotest.test_case "every PDU roundtrips to identical bytes" `Quick
+      (fun () ->
+        List.iter
+          (fun body ->
+            let raw = Urgc.Tw_codec.encode_body payload body in
+            match Urgc.Tw_codec.decode_body payload ~n:5 raw with
+            | Error e -> Alcotest.failf "decode: %s" e
+            | Ok decoded ->
+                Alcotest.(check bool)
+                  (Format.asprintf "%a" Urgc.Total_wire.pp_body body)
+                  true
+                  (Bytes.equal raw (Urgc.Tw_codec.encode_body payload decoded)))
+          (bodies 5));
+    Alcotest.test_case "the assignment window survives the roundtrip" `Quick
+      (fun () ->
+        let d = sample_decision 5 in
+        let raw =
+          Urgc.Tw_codec.encode_body payload (Urgc.Total_wire.Decision_pdu d)
+        in
+        match Urgc.Tw_codec.decode_body payload ~n:5 raw with
+        | Ok (Urgc.Total_wire.Decision_pdu d') ->
+            Alcotest.(check int) "window size" 3
+              (Array.length d'.Urgc.Total_decision.assignments);
+            Alcotest.(check (option unit)) "seq 3 binding" (Some ())
+              (Option.map (fun _ -> ())
+                 (Urgc.Total_decision.assignment d' 3));
+            Alcotest.(check (array int)) "acc sentinel survives"
+              d.Urgc.Total_decision.acc_processed
+              d'.Urgc.Total_decision.acc_processed
+        | Ok _ -> Alcotest.fail "wrong variant"
+        | Error e -> Alcotest.fail e);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"urgc decoder never raises on garbage" ~count:500
+         (QCheck.make
+            ~print:(fun b -> Printf.sprintf "%d bytes" (Bytes.length b))
+            QCheck.Gen.(map Bytes.of_string (string_size (int_bound 150))))
+         (fun raw ->
+           match Urgc.Tw_codec.decode_body payload ~n:5 raw with
+           | Ok _ | Error _ -> true));
+  ]
+
+let suite = [ ("tw_codec", tests) ]
