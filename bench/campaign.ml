@@ -1,0 +1,34 @@
+(* Randomized fault-campaign sweep (the correctness backbone later scaling
+   work is validated against).
+
+   Two fixed-seed campaigns: one drawn within the resilience budget
+   t = (n-1)/2, where every verdict must come back OK, and one with the
+   per-subrun silencing forced beyond t, where the harness is expected to
+   find safety violations and shrink each to a minimal reproducer. *)
+
+let run () =
+  Format.printf "@.== Randomized fault campaign ==@.@.";
+  let within = Workload.Campaign.run ~budget:40 ~seed:42 () in
+  Format.printf "-- within the t = (n-1)/2 budget --@.%a@.@."
+    Workload.Campaign.pp_summary within;
+  let over = Workload.Campaign.run ~over_budget:true ~budget:15 ~seed:42 () in
+  Format.printf "-- silencing forced beyond t --@.%a@.@."
+    Workload.Campaign.pp_summary over;
+  let shrunk_sizes =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun s ->
+            ( r.Workload.Campaign.spec.Workload.Campaign.messages,
+              s.Workload.Campaign.shrunk_spec.Workload.Campaign.messages ))
+          r.Workload.Campaign.shrunk)
+      over.Workload.Campaign.runs
+  in
+  Format.printf "shape checks:@.";
+  Format.printf "  within-budget campaign is all-OK: %b@."
+    (within.Workload.Campaign.failed = 0);
+  Format.printf "  over-budget campaign finds failures: %b@."
+    (over.Workload.Campaign.failed > 0);
+  Format.printf
+    "  every shrunk reproducer is no larger than its original: %b@."
+    (List.for_all (fun (orig, shrunk) -> shrunk <= orig) shrunk_sizes)

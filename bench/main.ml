@@ -19,6 +19,7 @@ let experiments =
     ("timing", "Latency sweep across the round-synchrony boundary", Timing.run);
     ("scale", "Control-plane cost vs group size", Scale.run);
     ("service", "Service-rate ceiling: one message per process per round", Service.run);
+    ("campaign", "Randomized fault campaign within and beyond the t budget", Campaign.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -40,6 +41,7 @@ let () =
       Timing.run ();
       Scale.run ();
       Service.run ();
+      Campaign.run ();
       Micro.run ()
   | names ->
       List.iter

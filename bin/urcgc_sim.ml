@@ -236,10 +236,169 @@ let urgc_cmd =
        ~doc:"Run the total-order companion algorithm on the same scenario shape.")
     term
 
+(* ---- campaign: randomized fault sweep with shrinking ------------------ *)
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "budget" ] ~doc:"Number of randomized runs in the campaign.")
+
+let over_budget_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "over-budget" ]
+        ~doc:
+          "Force every run's silenced-per-subrun burst strictly beyond the \
+           resilience bound t = (n-1)/2, searching for the failure envelope.")
+
+let no_shrink_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-shrink" ] ~doc:"Skip minimizing failing runs.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ]
+        ~doc:
+          "Write the JSON report to $(docv) instead of standard output (the \
+           human summary then goes to standard output instead of stderr)."
+        ~docv:"FILE")
+
+(* Spec validation failures (negative budget, silenced >= n, rate outside
+   [0, 1], ...) surface as Invalid_argument from the library; report them as
+   CLI usage errors rather than crashing. *)
+let cli_guard f =
+  match f () with
+  | code -> code
+  | exception Invalid_argument msg ->
+      Format.eprintf "urcgc_sim: %s@." msg;
+      2
+
+let run_campaign budget seed over_budget no_shrink out =
+  cli_guard @@ fun () ->
+  let campaign =
+    Workload.Campaign.run ~over_budget ~shrink_failures:(not no_shrink)
+      ~budget ~seed ()
+  in
+  let json = Workload.Campaign.to_json campaign in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "%a@." Workload.Campaign.pp_summary campaign
+  | None ->
+      print_string json;
+      print_newline ();
+      Format.eprintf "%a@." Workload.Campaign.pp_summary campaign);
+  if campaign.Workload.Campaign.failed = 0 then 0 else 1
+
+let campaign_cmd =
+  let term =
+    Term.(
+      const run_campaign $ budget_arg $ seed_arg $ over_budget_arg
+      $ no_shrink_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Sweep randomized fault configurations, check every correctness and \
+          liveness invariant, shrink failures to minimal reproducers, and \
+          emit a deterministic JSON report.")
+    term
+
+(* ---- replay: re-run one campaign configuration ------------------------ *)
+
+let send_omission_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "send-omission" ] ~doc:"Per-packet send-side drop probability.")
+
+let recv_omission_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "recv-omission" ]
+        ~doc:"Per-packet receive-side drop probability.")
+
+let link_loss_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "link-loss" ] ~doc:"Per-packet subnetwork loss probability.")
+
+let silenced_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "silenced" ]
+        ~doc:"Processes silenced per subrun (adversarial bursts).")
+
+let run_replay n k rate messages send_omission recv_omission link_loss
+    silenced crashes max_rtd seed trace =
+  cli_guard @@ fun () ->
+  let spec =
+    {
+      Workload.Campaign.n;
+      k;
+      rate;
+      messages;
+      send_omission;
+      recv_omission;
+      link_loss;
+      silenced_per_subrun = silenced;
+      crashes =
+        List.map
+          (fun (node, subrun) -> (Net.Node_id.to_int node, subrun))
+          crashes;
+      max_rtd;
+    }
+  in
+  let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  let scenario =
+    Workload.Campaign.scenario_of_spec ~name:"replay" ~seed spec
+  in
+  let report = Workload.Runner.run ~tracer scenario in
+  if trace then Sim.Tracer.dump Format.std_formatter tracer;
+  let outcome = Workload.Campaign.evaluate spec report in
+  Format.printf "%a@." Workload.Runner.pp_report report;
+  Format.printf "spec: %a@." Workload.Campaign.pp_spec spec;
+  if outcome.Workload.Campaign.ok then begin
+    Format.printf "replay: ok@.";
+    0
+  end
+  else begin
+    List.iter
+      (fun v -> Format.printf "replay violation: %s@." v)
+      outcome.Workload.Campaign.violations;
+    1
+  end
+
+let replay_cmd =
+  let term =
+    Term.(
+      const run_replay $ n_arg $ k_arg $ rate_arg $ messages_arg
+      $ send_omission_arg $ recv_omission_arg $ link_loss_arg $ silenced_arg
+      $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay one campaign configuration (the repro command line a \
+          campaign report emits) and print its full report and verdict.")
+    term
+
 let main_cmd =
   Cmd.group
     (Cmd.info "urcgc_sim" ~version:"1.0.0"
        ~doc:"Simulator for the urcgc causal reliable multicast protocol.")
-    [ run_cmd; cbcast_cmd; psync_cmd; urgc_cmd ]
+    [ run_cmd; cbcast_cmd; psync_cmd; urgc_cmd; campaign_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -29,6 +29,42 @@ let with_subrun_silence ~count ~population spec =
     invalid_arg "Fault.with_subrun_silence: count must be in [0, population)";
   { spec with silenced_per_subrun = count; population }
 
+(* %.12g keeps the full double precision of the probabilities while printing
+   0.0 as "0": the output is a pure function of the spec, which the campaign
+   determinism guarantee relies on. *)
+let float_str = Printf.sprintf "%.12g"
+
+let pp_spec ppf spec =
+  Format.fprintf ppf
+    "@[<h>crashes=[%a] send=%s recv=%s link=%s silenced=%d/%d@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       (fun ppf (node, time) ->
+         Format.fprintf ppf "%d@@%d" (Node_id.to_int node)
+           (Sim.Ticks.to_int time)))
+    spec.crashes
+    (float_str spec.send_omission)
+    (float_str spec.recv_omission)
+    (float_str spec.link_loss)
+    spec.silenced_per_subrun spec.population
+
+let json_of_spec spec =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"crashes\":[";
+  List.iteri
+    (fun i (node, time) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "[%d,%d]" (Node_id.to_int node)
+        (Sim.Ticks.to_int time))
+    spec.crashes;
+  Printf.bprintf buf
+    "],\"send_omission\":%s,\"recv_omission\":%s,\"link_loss\":%s,\"silenced_per_subrun\":%d,\"population\":%d}"
+    (float_str spec.send_omission)
+    (float_str spec.recv_omission)
+    (float_str spec.link_loss)
+    spec.silenced_per_subrun spec.population;
+  Buffer.contents buf
+
 type t = {
   spec : spec;
   rng : Sim.Rng.t;

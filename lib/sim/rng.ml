@@ -18,6 +18,16 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+let derive ~seed index =
+  let z =
+    mix
+      Int64.(
+        add
+          (mix (of_int seed))
+          (mul (of_int (index + 1)) golden_gamma))
+  in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.max_int in

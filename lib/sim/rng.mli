@@ -10,6 +10,12 @@ val create : seed:int -> t
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 
+val derive : seed:int -> int -> int
+(** [derive ~seed index] mixes [seed] and [index] into a fresh non-negative
+    seed, without consuming any generator state.  The campaign harness gives
+    run [index] the stream [create ~seed:(derive ~seed index)], so runs are
+    independent yet each is replayable from the campaign seed alone. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -58,3 +58,4 @@ let pp ppf t =
 let cell_int = string_of_int
 
 let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

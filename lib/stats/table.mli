@@ -16,3 +16,6 @@ val pp : Format.formatter -> t -> unit
 
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string
+(** [cell_pct f] renders the ratio [f] as a percentage, e.g. [0.98] as
+    ["98.0%"]. *)

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Formatting gate for CI: cheap, deterministic checks that need no extra
+# tooling beyond a POSIX shell.  ocamlformat is intentionally not required —
+# the container image the tests run in does not ship it; if it ever does,
+# switch this to `dune build @fmt`.
+#
+#   - no trailing whitespace in sources, docs, or build files
+#   - no tab characters in OCaml sources (the repo indents with spaces)
+#   - every non-empty tracked text file ends with a newline
+#
+# Exits non-zero listing each offending file.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+sources=$(git ls-files '*.ml' '*.mli' '*.md' '*.opam' '*.sh' 'dune-project' \
+  '**/dune' 'dune' '.github/workflows/*.yml' | grep -v '^_build/' || true)
+
+for f in $sources; do
+  [ -f "$f" ] || continue
+  if grep -qn '[ 	]$' "$f"; then
+    echo "lint: trailing whitespace in $f:" >&2
+    grep -n '[ 	]$' "$f" | head -5 >&2
+    status=1
+  fi
+  case "$f" in
+  *.ml | *.mli)
+    if grep -qn '	' "$f"; then
+      echo "lint: tab character in $f:" >&2
+      grep -n '	' "$f" | head -5 >&2
+      status=1
+    fi
+    ;;
+  esac
+  if [ -s "$f" ] && [ "$(tail -c1 "$f" | wc -l)" -eq 0 ]; then
+    echo "lint: missing final newline in $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit "$status"

@@ -1,0 +1,191 @@
+(* The randomized fault-campaign harness: determinism, within-budget
+   cleanliness, over-budget failure search, shrinking, and the Net.Fault
+   spec edge cases the campaign generator leans on. *)
+
+let fault_edge_tests =
+  [
+    Alcotest.test_case "omission_every rejects k = 0" `Quick (fun () ->
+        Alcotest.check_raises "k = 0"
+          (Invalid_argument "Fault.omission_every: k must be positive")
+          (fun () -> ignore (Net.Fault.omission_every 0)));
+    Alcotest.test_case "omission_every rejects negative k" `Quick (fun () ->
+        Alcotest.check_raises "k = -5"
+          (Invalid_argument "Fault.omission_every: k must be positive")
+          (fun () -> ignore (Net.Fault.omission_every (-5))));
+    Alcotest.test_case "with_subrun_silence rejects count = population" `Quick
+      (fun () ->
+        Alcotest.check_raises "count = population"
+          (Invalid_argument
+             "Fault.with_subrun_silence: count must be in [0, population)")
+          (fun () ->
+            ignore
+              (Net.Fault.with_subrun_silence ~count:7 ~population:7
+                 Net.Fault.reliable)));
+    Alcotest.test_case "with_subrun_silence rejects count > population" `Quick
+      (fun () ->
+        Alcotest.check_raises "count > population"
+          (Invalid_argument
+             "Fault.with_subrun_silence: count must be in [0, population)")
+          (fun () ->
+            ignore
+              (Net.Fault.with_subrun_silence ~count:9 ~population:7
+                 Net.Fault.reliable)));
+    Alcotest.test_case "with_subrun_silence rejects negative count" `Quick
+      (fun () ->
+        Alcotest.check_raises "count = -1"
+          (Invalid_argument
+             "Fault.with_subrun_silence: count must be in [0, population)")
+          (fun () ->
+            ignore
+              (Net.Fault.with_subrun_silence ~count:(-1) ~population:7
+                 Net.Fault.reliable)));
+    Alcotest.test_case "with_subrun_silence accepts count = population - 1"
+      `Quick (fun () ->
+        let spec =
+          Net.Fault.with_subrun_silence ~count:6 ~population:7
+            Net.Fault.reliable
+        in
+        Alcotest.(check int) "count" 6 spec.Net.Fault.silenced_per_subrun;
+        Alcotest.(check int) "population" 7 spec.Net.Fault.population);
+    Alcotest.test_case "json_of_spec is canonical" `Quick (fun () ->
+        let spec =
+          Net.Fault.with_crashes
+            [ (Net.Node_id.of_int 3, Sim.Ticks.of_int 501) ]
+            (Net.Fault.with_subrun_silence ~count:2 ~population:9
+               (Net.Fault.omission_every 500))
+        in
+        Alcotest.(check string)
+          "fixed serialization"
+          "{\"crashes\":[[3,501]],\"send_omission\":0.001,\"recv_omission\":0.001,\"link_loss\":0,\"silenced_per_subrun\":2,\"population\":9}"
+          (Net.Fault.json_of_spec spec))
+  ]
+
+let derive_tests =
+  [
+    Alcotest.test_case "Rng.derive is deterministic and non-negative" `Quick
+      (fun () ->
+        List.iter
+          (fun index ->
+            let a = Sim.Rng.derive ~seed:1 index in
+            let b = Sim.Rng.derive ~seed:1 index in
+            Alcotest.(check int) "stable" a b;
+            Alcotest.(check bool) "non-negative" true (a >= 0))
+          [ 0; 1; 2; 17; 1000 ]);
+    Alcotest.test_case "Rng.derive separates runs and seeds" `Quick (fun () ->
+        let seeds =
+          List.concat_map
+            (fun seed -> List.init 50 (fun i -> Sim.Rng.derive ~seed i))
+            [ 1; 2; 3 ]
+        in
+        Alcotest.(check int)
+          "all distinct"
+          (List.length seeds)
+          (List.length (List.sort_uniq compare seeds)));
+  ]
+
+let campaign_tests =
+  [
+    Alcotest.test_case "same seed produces byte-identical JSON reports" `Quick
+      (fun () ->
+        let report () =
+          Workload.Campaign.to_json
+            (Workload.Campaign.run ~budget:6 ~seed:1 ())
+        in
+        Alcotest.(check string) "byte-identical" (report ()) (report ()));
+    Alcotest.test_case "different seeds draw different sweeps" `Quick
+      (fun () ->
+        let json seed =
+          Workload.Campaign.to_json (Workload.Campaign.run ~budget:4 ~seed ())
+        in
+        Alcotest.(check bool) "differ" false (json 1 = json 2));
+    Alcotest.test_case "within-budget campaign is all-OK" `Slow (fun () ->
+        let campaign = Workload.Campaign.run ~budget:25 ~seed:1 () in
+        Alcotest.(check int) "no failures" 0 campaign.Workload.Campaign.failed;
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              "spec within budget" true
+              (Workload.Campaign.within_budget r.Workload.Campaign.spec))
+          campaign.Workload.Campaign.runs);
+    Alcotest.test_case
+      "forcing silenced_per_subrun > t finds a failure and shrinks it" `Slow
+      (fun () ->
+        let campaign =
+          Workload.Campaign.run ~over_budget:true ~budget:2 ~seed:42 ()
+        in
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              "burst beyond the bound" true
+              (r.Workload.Campaign.spec.Workload.Campaign.silenced_per_subrun
+              > Workload.Campaign.resilience r.Workload.Campaign.spec))
+          campaign.Workload.Campaign.runs;
+        Alcotest.(check bool)
+          "found a failing verdict" true
+          (campaign.Workload.Campaign.failed > 0);
+        let failing =
+          List.find
+            (fun r -> not r.Workload.Campaign.outcome.Workload.Campaign.ok)
+            campaign.Workload.Campaign.runs
+        in
+        match failing.Workload.Campaign.shrunk with
+        | None -> Alcotest.fail "failing run was not shrunk"
+        | Some s ->
+            Alcotest.(check bool)
+              "reproducer is no larger" true
+              (s.Workload.Campaign.shrunk_spec.Workload.Campaign.messages
+              <= failing.Workload.Campaign.spec.Workload.Campaign.messages);
+            (* The minimal reproducer must replay to a failure under the
+               recorded run seed — the repro command's contract. *)
+            let outcome, _report =
+              Workload.Campaign.execute ~seed:failing.Workload.Campaign.seed
+                s.Workload.Campaign.shrunk_spec
+            in
+            Alcotest.(check bool)
+              "shrunk spec still fails" false
+              outcome.Workload.Campaign.ok;
+            Alcotest.(check bool)
+              "shrunk verdict is recorded" false
+              (s.Workload.Campaign.shrunk_violations = []));
+    Alcotest.test_case "repro command round-trips the spec shape" `Quick
+      (fun () ->
+        let spec =
+          {
+            Workload.Campaign.n = 7;
+            k = 3;
+            rate = 0.4;
+            messages = 30;
+            send_omission = 0.001;
+            recv_omission = 0.0;
+            link_loss = 0.002;
+            silenced_per_subrun = 2;
+            crashes = [ (3, 5) ];
+            max_rtd = 120.0;
+          }
+        in
+        let cmd = Workload.Campaign.repro_command ~seed:99 spec in
+        List.iter
+          (fun fragment ->
+            Alcotest.(check bool)
+              (Printf.sprintf "contains %S" fragment)
+              true
+              (Astring_contains.contains cmd fragment))
+          [
+            "urcgc_sim replay";
+            "-n 7";
+            "-K 3";
+            "--messages 30";
+            "--silenced 2";
+            "--crash 3@5";
+            "--send-omission 0.001";
+            "--link-loss 0.002";
+            "--seed 99";
+          ]);
+  ]
+
+let suite =
+  [
+    ("campaign:fault-edges", fault_edge_tests);
+    ("campaign:derive", derive_tests);
+    ("campaign", campaign_tests);
+  ]
