@@ -31,4 +31,24 @@ let run () =
     (over.Workload.Campaign.failed > 0);
   Format.printf
     "  every shrunk reproducer is no larger than its original: %b@."
-    (List.for_all (fun (orig, shrunk) -> shrunk <= orig) shrunk_sizes)
+    (List.for_all (fun (orig, shrunk) -> shrunk <= orig) shrunk_sizes);
+  (* Metrics registry of one representative faulty run: the depth/occupancy
+     and latency figures scaling work optimizes against. *)
+  let spec =
+    {
+      Workload.Campaign.n = 15;
+      k = 3;
+      rate = 0.5;
+      messages = 120;
+      send_omission = 0.001;
+      recv_omission = 0.001;
+      link_loss = 0.0;
+      silenced_per_subrun = 1;
+      crashes = [ (3, 4) ];
+      max_rtd = 300.0;
+    }
+  in
+  let metrics = Sim.Metrics.create () in
+  let _outcome, _report = Workload.Campaign.execute ~metrics ~seed:42 spec in
+  Format.printf "@.-- metrics (n=15, omission 1/1000, 1 silenced, 1 crash) --@.%a@."
+    Sim.Metrics.pp metrics

@@ -75,7 +75,24 @@ let codec_arg =
 let max_rtd_arg =
   Arg.(value & opt float 400.0 & info [ "max-rtd" ] ~doc:"Simulated time cap.")
 
-let run_scenario n k rate messages omission crashes flow seed trace codec
+let metrics_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:"Record the run's metrics registry and include it in the output.")
+
+(* Spec validation failures (negative budget, silenced >= n, rate outside
+   [0, 1], ...) surface as Invalid_argument from the library; report them as
+   CLI usage errors rather than crashing. *)
+let cli_guard f =
+  match f () with
+  | code -> code
+  | exception Invalid_argument msg ->
+      Format.eprintf "urcgc_sim: %s@." msg;
+      2
+
+let cli_scenario ~name n k rate messages omission crashes flow seed codec
     max_rtd =
   let flow_threshold = if flow then Some (Some (8 * n)) else None in
   let config = Urcgc.Config.make ~k ?flow_threshold ~n () in
@@ -93,9 +110,15 @@ let run_scenario n k rate messages omission crashes flow seed trace codec
          crashes)
       base
   in
+  Workload.Scenario.make ~name ~fault ~codec_boundary:codec ~seed ~max_rtd
+    ~config ~load ()
+
+let run_scenario n k rate messages omission crashes flow seed trace codec
+    max_rtd =
+  cli_guard @@ fun () ->
   let scenario =
-    Workload.Scenario.make ~name:"cli" ~fault ~codec_boundary:codec ~seed
-      ~max_rtd ~config ~load ()
+    cli_scenario ~name:"cli" n k rate messages omission crashes flow seed codec
+      max_rtd
   in
   let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
   let report = Workload.Runner.run ~tracer scenario in
@@ -112,7 +135,58 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a urcgc scenario and print its report.") term
 
+(* ---- trace: typed JSONL export ---------------------------------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ]
+        ~doc:"Write the JSONL trace to $(docv) instead of standard output."
+        ~docv:"FILE")
+
+let run_trace n k rate messages omission crashes flow seed codec max_rtd
+    metrics out =
+  cli_guard @@ fun () ->
+  let scenario =
+    cli_scenario ~name:"trace" n k rate messages omission crashes flow seed
+      codec max_rtd
+  in
+  let trace = Sim.Trace.unbounded () in
+  let registry = if metrics then Sim.Metrics.create () else Sim.Metrics.null in
+  let report = Workload.Runner.run ~tracer:trace ~metrics:registry scenario in
+  (* Byte-exact output path: no Format margins anywhere near the JSONL. *)
+  let oc = match out with Some path -> open_out path | None -> stdout in
+  Sim.Trace.iter trace ~f:(fun record ->
+      output_string oc (Sim.Trace.json_of_record record);
+      output_char oc '\n');
+  if metrics then begin
+    output_string oc "{\"metrics\":";
+    output_string oc (Sim.Metrics.to_json registry);
+    output_string oc "}\n"
+  end;
+  (match out with Some _ -> close_out oc | None -> flush stdout);
+  Format.eprintf "%a@." Workload.Runner.pp_report report;
+  if Workload.Checker.ok report.Workload.Runner.verdict then 0 else 1
+
+let trace_cmd =
+  let term =
+    Term.(
+      const run_trace $ n_arg $ k_arg $ rate_arg $ messages_arg $ omission_arg
+      $ crash_arg $ flow_arg $ seed_arg $ codec_arg $ max_rtd_arg $ metrics_arg
+      $ trace_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a urcgc scenario and export its typed protocol trace as \
+          deterministic JSONL (one event per line; schema in docs/TRACE.md). \
+          With $(b,--metrics), a final line carries the metrics registry. \
+          The human report goes to standard error.")
+    term
+
 let run_cbcast n k rate messages crashes seed trace max_rtd =
+  cli_guard @@ fun () ->
   let load = Workload.Load.make ~rate ~total_messages:messages () in
   let fault =
     Net.Fault.with_crashes
@@ -145,6 +219,7 @@ let cbcast_cmd =
     term
 
 let run_psync n k rate messages omission crashes seed trace max_rtd =
+  cli_guard @@ fun () ->
   let load = Workload.Load.make ~rate ~total_messages:messages () in
   let fault =
     let base =
@@ -178,6 +253,7 @@ let psync_cmd =
     term
 
 let run_urgc n k rate messages omission crashes seed max_rtd =
+  cli_guard @@ fun () ->
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create ~seed in
   let fault_spec =
@@ -269,21 +345,11 @@ let out_arg =
            human summary then goes to standard output instead of stderr)."
         ~docv:"FILE")
 
-(* Spec validation failures (negative budget, silenced >= n, rate outside
-   [0, 1], ...) surface as Invalid_argument from the library; report them as
-   CLI usage errors rather than crashing. *)
-let cli_guard f =
-  match f () with
-  | code -> code
-  | exception Invalid_argument msg ->
-      Format.eprintf "urcgc_sim: %s@." msg;
-      2
-
-let run_campaign budget seed over_budget no_shrink out =
+let run_campaign budget seed over_budget no_shrink with_metrics out =
   cli_guard @@ fun () ->
   let campaign =
     Workload.Campaign.run ~over_budget ~shrink_failures:(not no_shrink)
-      ~budget ~seed ()
+      ~with_metrics ~budget ~seed ()
   in
   let json = Workload.Campaign.to_json campaign in
   (match out with
@@ -303,7 +369,7 @@ let campaign_cmd =
   let term =
     Term.(
       const run_campaign $ budget_arg $ seed_arg $ over_budget_arg
-      $ no_shrink_arg $ out_arg)
+      $ no_shrink_arg $ metrics_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -342,7 +408,7 @@ let silenced_arg =
         ~doc:"Processes silenced per subrun (adversarial bursts).")
 
 let run_replay n k rate messages send_omission recv_omission link_loss
-    silenced crashes max_rtd seed trace =
+    silenced crashes max_rtd seed trace metrics =
   cli_guard @@ fun () ->
   let spec =
     {
@@ -362,14 +428,17 @@ let run_replay n k rate messages send_omission recv_omission link_loss
     }
   in
   let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  let registry = if metrics then Sim.Metrics.create () else Sim.Metrics.null in
   let scenario =
     Workload.Campaign.scenario_of_spec ~name:"replay" ~seed spec
   in
-  let report = Workload.Runner.run ~tracer scenario in
+  let report = Workload.Runner.run ~tracer ~metrics:registry scenario in
   if trace then Sim.Tracer.dump Format.std_formatter tracer;
   let outcome = Workload.Campaign.evaluate spec report in
   Format.printf "%a@." Workload.Runner.pp_report report;
   Format.printf "spec: %a@." Workload.Campaign.pp_spec spec;
+  if metrics then
+    Format.printf "@[<v 2>metrics:@ %a@]@." Sim.Metrics.pp registry;
   if outcome.Workload.Campaign.ok then begin
     Format.printf "replay: ok@.";
     0
@@ -386,7 +455,7 @@ let replay_cmd =
     Term.(
       const run_replay $ n_arg $ k_arg $ rate_arg $ messages_arg
       $ send_omission_arg $ recv_omission_arg $ link_loss_arg $ silenced_arg
-      $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg)
+      $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -399,6 +468,14 @@ let main_cmd =
   Cmd.group
     (Cmd.info "urcgc_sim" ~version:"1.0.0"
        ~doc:"Simulator for the urcgc causal reliable multicast protocol.")
-    [ run_cmd; cbcast_cmd; psync_cmd; urgc_cmd; campaign_cmd; replay_cmd ]
+    [
+      run_cmd;
+      trace_cmd;
+      cbcast_cmd;
+      psync_cmd;
+      urgc_cmd;
+      campaign_cmd;
+      replay_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

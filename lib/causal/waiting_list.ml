@@ -18,10 +18,13 @@ let length t = Mid.Map.cardinal t.messages
 let is_empty t = Mid.Map.is_empty t.messages
 
 let oldest t ~origin =
-  (* Mids sort by (origin, seq), so the first binding at or after
-     (origin, 1) belongs to [origin] iff origin has waiting messages. *)
-  let probe = Mid.make ~origin ~seq:1 in
-  match Mid.Map.find_first_opt (fun mid -> Mid.compare mid probe >= 0) t.messages with
+  (* Mids sort by (origin, seq), so the first binding whose origin is at or
+     after [origin] belongs to [origin] iff origin has waiting messages.
+     Comparing on the origin component alone keeps this correct whatever
+     sequence number a message carries — the old probe Mid.make ~seq:1
+     baked the numbering base into the lookup. *)
+  let from_origin mid = Net.Node_id.compare (Mid.origin mid) origin >= 0 in
+  match Mid.Map.find_first_opt from_origin t.messages with
   | Some (mid, _) when Net.Node_id.equal (Mid.origin mid) origin -> Some mid
   | Some _ | None -> None
 

@@ -36,11 +36,56 @@ type 'a t = {
 let engine t = Medium.engine t.medium
 let now t = Sim.Engine.now (engine t)
 
-let trace t source fmt =
-  Sim.Tracer.emitf t.tracer ~time:(now t) ~source fmt
+(* -- typed trace emit points ------------------------------------------- *)
+
+let trace_mid mid =
+  {
+    Sim.Trace.origin = Net.Node_id.to_int (Causal.Mid.origin mid);
+    seq = Causal.Mid.seq mid;
+  }
+
+let trace_pdu (body : _ Wire.body) =
+  match body with
+  | Wire.Data msg ->
+      Sim.Trace.Data
+        {
+          origin = Net.Node_id.to_int (Causal.Mid.origin msg.Causal.Causal_msg.mid);
+          seq = Causal.Mid.seq msg.mid;
+          deps = List.length msg.deps;
+          bytes = msg.payload_size;
+        }
+  | Wire.Request r ->
+      Sim.Trace.Request
+        { sender = Net.Node_id.to_int r.Wire.sender; subrun = r.subrun }
+  | Wire.Decision_pdu d ->
+      Sim.Trace.Decision
+        {
+          subrun = d.Decision.subrun;
+          coordinator = Net.Node_id.to_int d.coordinator;
+          full_group = d.full_group;
+        }
+  | Wire.Recover_req { requester; origin; from_seq; to_seq } ->
+      Sim.Trace.Recover_req
+        {
+          requester = Net.Node_id.to_int requester;
+          origin = Net.Node_id.to_int origin;
+          from_seq;
+          to_seq;
+        }
+  | Wire.Recover_reply { responder; messages } ->
+      Sim.Trace.Recover_reply
+        {
+          responder = Net.Node_id.to_int responder;
+          count = List.length messages;
+        }
+
+let emit t event = Sim.Trace.emit t.tracer ~time:(now t) event
+
+let tracing t = Sim.Trace.enabled t.tracer
 
 let execute t member action =
   let self = Member.id member in
+  let self_i = Net.Node_id.to_int self in
   match action with
   | Member.Broadcast body ->
       let dsts =
@@ -57,29 +102,47 @@ let execute t member action =
       | Wire.Request _ | Wire.Decision_pdu _ | Wire.Recover_req _
       | Wire.Recover_reply _ ->
           ());
+      if tracing t then
+        emit t
+          (Sim.Trace.Broadcast
+             { src = self_i; dsts = List.length dsts; pdu = trace_pdu body });
       Medium.multicast t.medium ~src:self ~dsts body
-  | Member.Send (dst, body) -> Medium.send t.medium ~src:self ~dst body
+  | Member.Send (dst, body) ->
+      if tracing t then
+        emit t
+          (Sim.Trace.Send
+             { src = self_i; dst = Net.Node_id.to_int dst; pdu = trace_pdu body });
+      Medium.send t.medium ~src:self ~dst body
   | Member.Processed msg ->
       let record = { node = self; msg; at = now t } in
       t.deliveries <- record :: t.deliveries;
+      if tracing t then
+        emit t
+          (Sim.Trace.Deliver
+             { node = self_i; mid = trace_mid msg.Causal.Causal_msg.mid });
       List.iter (fun callback -> callback record) (List.rev t.delivery_callbacks)
   | Member.Confirmed mid ->
       List.iter
         (fun callback -> callback self mid)
         (List.rev t.confirm_callbacks);
-      trace t (Format.asprintf "%a" Net.Node_id.pp self) "confirmed %a"
-        Causal.Mid.pp mid
+      if tracing t then
+        emit t (Sim.Trace.Confirm { node = self_i; mid = trace_mid mid })
+  | Member.Queued (mid, depth) ->
+      if tracing t then
+        emit t
+          (Sim.Trace.Wait_add { node = self_i; mid = trace_mid mid; depth })
   | Member.Discarded mids ->
       t.discards <- (self, mids, now t) :: t.discards;
-      trace t
-        (Format.asprintf "%a" Net.Node_id.pp self)
-        "discarded %d orphaned messages" (List.length mids)
+      if tracing t then
+        emit t
+          (Sim.Trace.Wait_discard
+             { node = self_i; mids = List.map trace_mid mids })
   | Member.Left why ->
       t.departures <- { who = self; why; when_ = now t } :: t.departures;
-      trace t
-        (Format.asprintf "%a" Net.Node_id.pp self)
-        "left the group: %s"
-        (Member.reason_to_string why)
+      if tracing t then
+        emit t
+          (Sim.Trace.Left
+             { node = self_i; reason = Member.reason_to_string why })
 
 let execute_all t member actions = List.iter (execute t member) actions
 
@@ -87,8 +150,13 @@ let crashed t node =
   Net.Fault.crashed (Medium.fault t.medium) ~now:(now t) node
 
 let on_body t member body =
-  if not (crashed t (Member.id member)) then
+  if not (crashed t (Member.id member)) then begin
+    if tracing t then
+      emit t
+        (Sim.Trace.Receive
+           { node = Net.Node_id.to_int (Member.id member); pdu = trace_pdu body });
     execute_all t member (Member.handle member body)
+  end
 
 let create_with_medium ?(tracer = Sim.Tracer.null) ~config ~medium () =
   let members =
@@ -127,6 +195,27 @@ let medium t = t.medium
 let run_round t =
   let round = t.round in
   let subrun = round / 2 in
+  if round mod 2 = 0 && tracing t then begin
+    (* Coordinator rotation is a function of the (shared, eventually
+       consistent) alive view; narrate it from the first active member's
+       perspective once per subrun. *)
+    let first_active =
+      Array.to_list t.members
+      |> List.find_opt (fun member ->
+             Member.active member && not (crashed t (Member.id member)))
+    in
+    match first_active with
+    | None -> ()
+    | Some member ->
+        let coordinator =
+          Coordinator.rotation
+            ~alive:(Causal.Group_view.alive_array (Member.view member))
+            ~subrun
+        in
+        emit t
+          (Sim.Trace.Rotate
+             { subrun; coordinator = Net.Node_id.to_int coordinator })
+  end;
   Array.iter
     (fun member ->
       if not (crashed t (Member.id member)) then

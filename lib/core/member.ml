@@ -11,6 +11,7 @@ type 'a action =
   | Processed of 'a Causal.Causal_msg.t
   | Confirmed of Causal.Mid.t
   | Discarded of Causal.Mid.t list
+  | Queued of Causal.Mid.t * int
   | Left of reason
 
 type 'a submission = { payload : 'a; deps : Causal.Mid.t list option; size : int }
@@ -107,7 +108,7 @@ let receive_data t msg =
   else if Causal.Delivery.processable t.delivery msg then process_cascade t msg
   else begin
     Causal.Waiting_list.add t.waiting msg;
-    []
+    [ Queued (mid, Causal.Waiting_list.length t.waiting) ]
   end
 
 (* -- data generation --------------------------------------------------- *)

@@ -30,6 +30,9 @@ type 'a action =
       (** own message locally processed — [urcgc.data.Conf] *)
   | Discarded of Causal.Mid.t list
       (** orphaned waiting messages destroyed by group agreement *)
+  | Queued of Causal.Mid.t * int
+      (** the message entered the waiting list (dependencies missing); the
+          int is the waiting-list length after the add *)
   | Left of reason  (** the process left the group and stops participating *)
 
 type 'a t

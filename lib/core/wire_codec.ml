@@ -209,10 +209,11 @@ let encode_body payload body =
       W.u32 w to_seq
   | Wire.Recover_reply { responder; messages } ->
       W.u8 w tag_recover_reply;
-      W.u24 w 0;
+      (* Message count rides in the pad field.  Relying on the buffer end to
+         delimit the list let a reply truncated at a message boundary decode
+         Ok with fewer messages; an explicit count makes that an error. *)
+      W.u24 w (List.length messages);
       W.u32 w (Net.Node_id.to_int responder);
-      (* The message count is implied by the framing: each data message is
-         self-delimiting, so decode until the buffer ends. *)
       List.iter (write_data payload w) messages);
   W.contents w
 
@@ -248,18 +249,23 @@ let decode_body payload ~n raw =
            to_seq;
          })
   else if tag = tag_recover_reply then begin
-    let* _pad = R.u24 r in
+    let* expected = R.u24 r in
     let* responder = R.u32 r in
-    let rec read_messages acc =
-      if R.remaining r = 0 then Ok (List.rev acc)
+    let rec read_messages k acc =
+      if k = 0 then Ok (List.rev acc)
+      else if R.remaining r = 0 then
+        Error
+          (Printf.sprintf
+             "recover-reply: truncated; %d of %d messages missing" k expected)
       else
         let* inner_tag = R.u8 r in
         if inner_tag <> tag_data then Error "recover-reply: expected a data message"
         else
           let* msg = read_data payload r in
-          read_messages (msg :: acc)
+          read_messages (k - 1) (msg :: acc)
     in
-    let* messages = read_messages [] in
+    let* messages = read_messages expected [] in
+    let* () = R.expect_end r in
     Ok
       (Wire.Recover_reply
          { responder = Net.Node_id.of_int responder; messages })

@@ -20,6 +20,7 @@ type 'msg t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable filter : ('msg packet -> bool) option;
+  mutable trace : Sim.Trace.t;
 }
 
 let create ?(latency = default_latency) engine ~fault ~rng () =
@@ -33,6 +34,7 @@ let create ?(latency = default_latency) engine ~fault ~rng () =
     delivered = 0;
     dropped = 0;
     filter = None;
+    trace = Sim.Trace.null;
   }
 
 let engine t = t.engine
@@ -50,9 +52,22 @@ let one_way_delay t =
   in
   Sim.Ticks.add t.latency.base (Sim.Ticks.of_int jitter)
 
+let drop t packet stage =
+  t.dropped <- t.dropped + 1;
+  if Sim.Trace.enabled t.trace then
+    Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine)
+      (Sim.Trace.Drop
+         {
+           src = Node_id.to_int packet.src;
+           dst = Node_id.to_int packet.dst;
+           kind = Traffic.kind_to_string packet.kind;
+           stage;
+         })
+
 let deliver t packet =
   let now = Sim.Engine.now t.engine in
-  if Fault.drop_on_recv t.fault ~now packet.dst then t.dropped <- t.dropped + 1
+  if Fault.drop_on_recv t.fault ~now packet.dst then
+    drop t packet Sim.Trace.On_recv
   else
     match Hashtbl.find_opt t.handlers packet.dst with
     | None -> t.dropped <- t.dropped + 1
@@ -67,11 +82,12 @@ let send t ~src ~dst ~kind ~size payload =
   Traffic.record t.traffic ~kind ~size;
   let now = Sim.Engine.now t.engine in
   let packet = { src; dst; kind; size; payload } in
-  if
-    Fault.drop_on_send t.fault ~now src
-    || Fault.drop_on_link t.fault
-    || filtered_out t packet
-  then t.dropped <- t.dropped + 1
+  (* Deliberately an if/else-if chain, not a match on a tuple: the fault
+     checks draw from the RNG, and the original short-circuit order
+     (send, then link, then filter) is part of the determinism contract. *)
+  if Fault.drop_on_send t.fault ~now src then drop t packet Sim.Trace.On_send
+  else if Fault.drop_on_link t.fault then drop t packet Sim.Trace.On_link
+  else if filtered_out t packet then drop t packet Sim.Trace.On_filter
   else begin
     let delay = one_way_delay t in
     ignore (Sim.Engine.schedule_after t.engine ~delay (fun () -> deliver t packet))
@@ -84,3 +100,5 @@ let delivered_count t = t.delivered
 let dropped_count t = t.dropped
 
 let set_filter t filter = t.filter <- filter
+
+let set_trace t trace = t.trace <- trace

@@ -53,6 +53,11 @@ val delivered_count : 'msg t -> int
 
 val dropped_count : 'msg t -> int
 
+val set_trace : 'msg t -> Sim.Trace.t -> unit
+(** Emit a typed {!Sim.Trace.Drop} event for every packet lost to fault
+    injection, labelled with the pipeline stage (send / link / recv /
+    filter).  Defaults to {!Sim.Trace.null} (no events). *)
+
 val set_filter : 'msg t -> ('msg packet -> bool) option -> unit
 (** Scripted, deterministic fault injection: when set, every packet copy is
     shown to the predicate at send time and dropped when it returns [false]

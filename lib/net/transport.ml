@@ -70,7 +70,9 @@ let create ?latency ?retry_interval ?max_retries ?mtu engine ~fault ~rng () =
   }
 
 let traffic t = Netsim.traffic t.net
+let set_trace t trace = Netsim.set_trace t.net trace
 let retransmissions t = t.retransmissions
+let dropped_count t = Netsim.dropped_count t.net
 let fragments_sent t = t.fragments_sent
 let engine t = Netsim.engine t.net
 let fault t = Netsim.fault t.net

@@ -60,12 +60,19 @@ val traffic : 'msg t -> Traffic.t
 (** Accounting of everything this transport offered to the subnetwork,
     including retransmissions and acks. *)
 
+val set_trace : 'msg t -> Sim.Trace.t -> unit
+(** Forwarded to the inner {!Netsim.set_trace}: frame drops show up as
+    typed {!Sim.Trace.Drop} events. *)
+
 val engine : 'msg t -> Sim.Engine.t
 
 val fault : 'msg t -> Fault.t
 
 val retransmissions : 'msg t -> int
 (** Total packet copies sent beyond the first attempt (diagnostics). *)
+
+val dropped_count : 'msg t -> int
+(** Frames lost in the inner subnetwork (diagnostics). *)
 
 val fragments_sent : 'msg t -> int
 (** Fragment packets sent (0 when no MTU is configured or nothing exceeded

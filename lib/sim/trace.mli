@@ -1,0 +1,95 @@
+(** Typed protocol trace.
+
+    The simulator components emit structured {!event}s into a {!t} sink;
+    the string-oriented {!Tracer} API is a thin shim over this layer.  The
+    sim library sits below the protocol libraries, so events refer to nodes
+    by integer index and to messages by [(origin, seq)] pairs — exactly the
+    representation the JSONL export uses.
+
+    The event schema and the JSONL field layout are documented in
+    [docs/TRACE.md]; the export is deterministic (fixed field order, fixed
+    number formatting), so a fixed-seed run serializes byte-identically. *)
+
+type mid = { origin : int; seq : int }
+
+type pdu =
+  | Data of { origin : int; seq : int; deps : int; bytes : int }
+  | Request of { sender : int; subrun : int }
+  | Decision of { subrun : int; coordinator : int; full_group : bool }
+  | Recover_req of { requester : int; origin : int; from_seq : int; to_seq : int }
+  | Recover_reply of { responder : int; count : int }
+
+type stage = On_send | On_link | On_recv | On_filter
+(** Where in the network pipeline a packet was dropped. *)
+
+val stage_to_string : stage -> string
+
+type event =
+  | Send of { src : int; dst : int; pdu : pdu }  (** unicast PDU send *)
+  | Broadcast of { src : int; dsts : int; pdu : pdu }
+      (** one PDU offered to [dsts] destinations *)
+  | Receive of { node : int; pdu : pdu }
+  | Deliver of { node : int; mid : mid }
+      (** the message was processed (causally delivered) at [node] *)
+  | Confirm of { node : int; mid : mid }  (** own message locally processed *)
+  | Wait_add of { node : int; mid : mid; depth : int }
+      (** entered the waiting list; [depth] is the list length after the add *)
+  | Wait_discard of { node : int; mids : mid list }
+      (** orphaned waiting messages destroyed by group agreement *)
+  | Rotate of { subrun : int; coordinator : int }  (** coordinator rotation *)
+  | Left of { node : int; reason : string }
+  | Crash of { node : int }  (** fault injection: scheduled fail-stop *)
+  | Drop of { src : int; dst : int; kind : string; stage : stage }
+      (** fault injection: the subnetwork lost a packet *)
+  | Note of { source : string; message : string }
+      (** free-form, emitted via the {!Tracer} compatibility shim *)
+
+type record = { time : Ticks.t; event : event }
+
+type t = Null | Sink of sink
+and sink = { capacity : int; mutable total : int; queue : record Queue.t }
+
+val null : t
+(** Discards everything.  [Null] is a plain constructor: it holds no state,
+    so sharing or copying it cannot leak events between users, and emitting
+    to it retains nothing. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of retained records (default 65536); older
+    records are dropped first.  Raises [Invalid_argument] if [capacity < 1]. *)
+
+val unbounded : unit -> t
+(** A sink that never drops — used by the [urcgc_sim trace] export, where
+    completeness matters more than bounded memory. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}.  Emit points guard event construction with
+    this so a disabled trace costs no allocation. *)
+
+val emit : t -> time:Ticks.t -> event -> unit
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val count : t -> int
+(** Total number of events emitted, including dropped ones. *)
+
+val find : t -> f:(record -> bool) -> record option
+
+val iter : t -> f:(record -> unit) -> unit
+
+val event_source : event -> string
+(** Short component label ("n3", "net", "group", or the {!Note} source). *)
+
+val event_message : event -> string
+(** One-line human rendering (the {!Tracer} shim's message string). *)
+
+val pp_pdu : Format.formatter -> pdu -> unit
+val pp_record : Format.formatter -> record -> unit
+
+val json_of_record : record -> string
+(** One JSON object, no trailing newline.  Field order is fixed; see
+    [docs/TRACE.md]. *)
+
+val pp_jsonl : Format.formatter -> t -> unit
+(** Every retained record as one JSON line. *)

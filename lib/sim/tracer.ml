@@ -1,35 +1,43 @@
+(* Compatibility shim: the string API now feeds Note events into the typed
+   Trace layer, so a single sink collects both structured protocol events
+   and free-form narration. *)
+
+type t = Trace.t
+
 type event = { time : Ticks.t; source : string; message : string }
 
-type t = {
-  enabled : bool;
-  capacity : int;
-  mutable total : int;
-  queue : event Queue.t;
-}
+let create ?capacity () = Trace.create ?capacity ()
 
-let create ?(capacity = 65536) () =
-  { enabled = true; capacity; total = 0; queue = Queue.create () }
-
-let null = { enabled = false; capacity = 0; total = 0; queue = Queue.create () }
+let null = Trace.null
 
 let emit t ~time ~source message =
-  if t.enabled then begin
-    t.total <- t.total + 1;
-    Queue.push { time; source; message } t.queue;
-    if Queue.length t.queue > t.capacity then ignore (Queue.pop t.queue)
-  end
+  Trace.emit t ~time (Trace.Note { source; message })
 
 let emitf t ~time ~source fmt =
-  Format.kasprintf (fun message -> emit t ~time ~source message) fmt
+  (* Skip formatting entirely on the null sink: emitf in a hot path must
+     stay free when tracing is off. *)
+  match t with
+  | Trace.Null -> Format.ikfprintf ignore Format.str_formatter fmt
+  | Trace.Sink _ ->
+      Format.kasprintf (fun message -> emit t ~time ~source message) fmt
 
-let events t = List.of_seq (Queue.to_seq t.queue)
+let render (r : Trace.record) =
+  {
+    time = r.Trace.time;
+    source = Trace.event_source r.Trace.event;
+    message = Trace.event_message r.Trace.event;
+  }
 
-let count t = t.total
+let events t = List.map render (Trace.records t)
 
-let find t ~f = Seq.find f (Queue.to_seq t.queue)
+let count = Trace.count
+
+let find t ~f =
+  Option.map render
+    (Trace.find t ~f:(fun r -> f (render r)))
 
 let pp_event ppf { time; source; message } =
   Format.fprintf ppf "[%a] %-12s %s" Ticks.pp time source message
 
 let dump ppf t =
-  Queue.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) t.queue
+  Trace.iter t ~f:(fun r -> Format.fprintf ppf "%a@." pp_event (render r))

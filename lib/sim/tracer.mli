@@ -1,10 +1,13 @@
-(** Structured trace of simulation events.
+(** Structured trace of simulation events — string-oriented shim.
 
-    A tracer is an optional sink that components write human-readable events
-    to; it is used by the examples to narrate runs and by tests to assert on
-    behaviour without coupling to internal state. *)
+    This is the original free-form API, now implemented on top of the typed
+    {!Trace} layer: [t] is an alias of {!Trace.t}, {!emit} wraps the message
+    in a {!Trace.Note} event, and {!events} renders every retained record —
+    typed or not — back to [(time, source, message)] strings.  Existing
+    examples and tests keep compiling; new code should emit typed events via
+    {!Trace} directly. *)
 
-type t
+type t = Trace.t
 
 type event = { time : Ticks.t; source : string; message : string }
 
@@ -13,15 +16,20 @@ val create : ?capacity:int -> unit -> t
     events are dropped first. *)
 
 val null : t
-(** A tracer that discards everything. *)
+(** A tracer that discards everything.  This is {!Trace.null}: stateless,
+    allocation-free, and impossible to mutate — emitting to it retains
+    nothing, and copies cannot alias a shared queue. *)
 
 val emit : t -> time:Ticks.t -> source:string -> string -> unit
 
 val emitf :
   t -> time:Ticks.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!emit} with a format string; on {!null} the message is never even
+    formatted. *)
 
 val events : t -> event list
-(** Retained events, oldest first. *)
+(** Retained events, oldest first; typed records are rendered via
+    {!Trace.event_source} / {!Trace.event_message}. *)
 
 val count : t -> int
 (** Total number of events emitted, including dropped ones. *)

@@ -30,6 +30,35 @@ let pp_spec ppf spec =
 
 let resilience spec = (spec.n - 1) / 2
 
+(* CLI-facing validation: everything a spec can get wrong, diagnosed in one
+   place.  Without this, out-of-range values slipped through silently —
+   e.g. a negative --silenced was simply never applied by [fault_of_spec]. *)
+let validate_spec spec =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let prob name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      fail "campaign spec: %s %s is outside [0,1]" name (float_str p)
+  in
+  if spec.n < 2 then fail "campaign spec: n %d is too small (need >= 2)" spec.n;
+  if spec.k < 1 then fail "campaign spec: K %d must be >= 1" spec.k;
+  prob "rate" spec.rate;
+  if spec.messages < 0 then
+    fail "campaign spec: negative message cap %d" spec.messages;
+  prob "send-omission" spec.send_omission;
+  prob "recv-omission" spec.recv_omission;
+  prob "link-loss" spec.link_loss;
+  if spec.silenced_per_subrun < 0 || spec.silenced_per_subrun >= spec.n then
+    fail "campaign spec: silenced %d is outside [0,%d)" spec.silenced_per_subrun
+      spec.n;
+  List.iter
+    (fun (node, subrun) ->
+      if node < 0 || node >= spec.n then
+        fail "campaign spec: crash node %d is outside [0,%d)" node spec.n;
+      if subrun < 0 then fail "campaign spec: negative crash subrun %d" subrun)
+    spec.crashes;
+  if not (spec.max_rtd > 0.0) then
+    fail "campaign spec: max-rtd %s must be positive" (float_str spec.max_rtd)
+
 let within_budget spec =
   spec.silenced_per_subrun + List.length spec.crashes <= resilience spec
 
@@ -57,6 +86,7 @@ let fault_of_spec spec =
     base
 
 let scenario_of_spec ?(name = "campaign") ~seed spec =
+  validate_spec spec;
   let config = Urcgc.Config.make ~k:spec.k ~n:spec.n () in
   let load = Load.make ~rate:spec.rate ~total_messages:spec.messages () in
   Scenario.make ~name ~fault:(fault_of_spec spec) ~seed ~max_rtd:spec.max_rtd
@@ -98,8 +128,8 @@ let evaluate spec (report : Runner.report) =
     violations = verdict.Checker.violations @ liveness;
   }
 
-let execute ~seed spec =
-  let report = Runner.run (scenario_of_spec ~seed spec) in
+let execute ?metrics ~seed spec =
+  let report = Runner.run ?metrics (scenario_of_spec ~seed spec) in
   (evaluate spec report, report)
 
 (* ---- Random configuration generation ---------------------------------- *)
@@ -271,6 +301,7 @@ type run = {
   subruns : int;
   mean_delay_rtd : float;
   shrunk : shrunk option;
+  metrics : string option;
 }
 
 type t = {
@@ -299,14 +330,21 @@ let repro_command ~seed spec =
     spec.crashes;
   Buffer.contents buf
 
-let run ?(over_budget = false) ?(shrink_failures = true) ~budget ~seed () =
+let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
+    ~budget ~seed () =
   if budget < 0 then invalid_arg "Campaign.run: negative budget";
   let rng = Sim.Rng.create ~seed in
   let runs =
     List.init budget (fun index ->
         let spec = generate ~over_budget rng in
         let run_seed = Sim.Rng.derive ~seed index in
-        let outcome, report = execute ~seed:run_seed spec in
+        (* A fresh registry per run, read out before the next run starts —
+           shrinking runs reuse [execute] without it, so the recorded
+           metrics describe exactly this run. *)
+        let metrics =
+          if with_metrics then Sim.Metrics.create () else Sim.Metrics.null
+        in
+        let outcome, report = execute ~metrics ~seed:run_seed spec in
         let shrunk =
           if outcome.ok || not shrink_failures then None
           else Some (shrink ~seed:run_seed spec outcome)
@@ -321,6 +359,8 @@ let run ?(over_budget = false) ?(shrink_failures = true) ~budget ~seed () =
           subruns = report.Runner.subruns;
           mean_delay_rtd = Runner.mean_delay_rtd report;
           shrunk;
+          metrics =
+            (if with_metrics then Some (Sim.Metrics.to_json metrics) else None);
         })
   in
   let failed = List.length (List.filter (fun r -> not r.outcome.ok) runs) in
@@ -392,6 +432,9 @@ let buf_run buf r =
       buf_string_list buf s.shrunk_violations;
       Printf.bprintf buf ",\"steps\":%d,\"repro\":\"%s\"}" s.shrink_steps
         (json_escape (repro_command ~seed:r.seed s.shrunk_spec)));
+  (match r.metrics with
+  | None -> ()
+  | Some json -> Printf.bprintf buf ",\"metrics\":%s" json);
   Buffer.add_char buf '}'
 
 let to_json t =

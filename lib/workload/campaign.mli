@@ -35,9 +35,18 @@ val resilience : spec -> int
 val within_budget : spec -> bool
 (** Whether [silenced_per_subrun] plus the crash count stays within [t]. *)
 
+val validate_spec : spec -> unit
+(** Raises [Invalid_argument] with a one-line diagnosis when the spec is
+    malformed: group too small, [k < 1], a probability outside [0,1], a
+    negative message cap, a silenced count outside [0,n), a crash of a node
+    outside the group or at a negative subrun, or a non-positive time cap.
+    {!scenario_of_spec} calls this, so both the campaign and the replay
+    paths reject bad CLI input instead of silently ignoring it. *)
+
 val fault_of_spec : spec -> Net.Fault.spec
 
 val scenario_of_spec : ?name:string -> seed:int -> spec -> Scenario.t
+(** Raises [Invalid_argument] via {!validate_spec} on malformed specs. *)
 
 type outcome = {
   ok : bool;
@@ -54,8 +63,9 @@ val evaluate : spec -> Runner.report -> outcome
       departures drains completely — every generated message is processed
       at all [n - 1] remote processes before the time cap. *)
 
-val execute : seed:int -> spec -> outcome * Runner.report
-(** Build the scenario, run the simulation, evaluate. *)
+val execute : ?metrics:Sim.Metrics.t -> seed:int -> spec -> outcome * Runner.report
+(** Build the scenario, run the simulation, evaluate.  [metrics] (default
+    {!Sim.Metrics.null}) is forwarded to {!Runner.run}. *)
 
 type shrunk = {
   shrunk_spec : spec;  (** minimal configuration that still fails *)
@@ -82,6 +92,9 @@ type run = {
   subruns : int;
   mean_delay_rtd : float;
   shrunk : shrunk option;  (** present iff the run failed and shrinking ran *)
+  metrics : string option;
+      (** per-run {!Sim.Metrics} registry rendered to JSON; present iff the
+          campaign ran with [with_metrics] *)
 }
 
 type t = {
@@ -98,10 +111,11 @@ val generate : ?over_budget:bool -> Sim.Rng.t -> spec
     every draw keeps the total failure count per subrun within [t]. *)
 
 val run :
-  ?over_budget:bool -> ?shrink_failures:bool -> budget:int -> seed:int ->
-  unit -> t
+  ?over_budget:bool -> ?shrink_failures:bool -> ?with_metrics:bool ->
+  budget:int -> seed:int -> unit -> t
 (** Run a whole campaign.  [shrink_failures] (default true) minimizes every
-    failing run. *)
+    failing run.  [with_metrics] (default false) records a fresh
+    {!Sim.Metrics} registry per run and embeds its JSON in the report. *)
 
 val repro_command : seed:int -> spec -> string
 (** The [urcgc_sim replay ...] command line reproducing this exact run. *)

@@ -75,21 +75,49 @@ let make_injector (scenario : Scenario.t) cluster rng =
   in
   (inject, cap_reached, produced)
 
-let run ?tracer (scenario : Scenario.t) =
+let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create ~seed:scenario.seed in
   let fault = Net.Fault.create scenario.fault ~rng:(Sim.Rng.split rng) in
-  let medium =
+  (* Keep a handle on the raw network component: the medium abstracts it
+     away, but the trace sink and the metrics counters need it. *)
+  let medium, net_dropped, net_retransmissions, net_fragments, net_set_trace =
     match scenario.mount with
     | Scenario.Datagram ->
-        Urcgc.Medium.of_netsim
-          (Net.Netsim.create ?latency:scenario.latency engine ~fault
-             ~rng:(Sim.Rng.split rng) ())
+        let net =
+          Net.Netsim.create ?latency:scenario.latency engine ~fault
+            ~rng:(Sim.Rng.split rng) ()
+        in
+        ( Urcgc.Medium.of_netsim net,
+          (fun () -> Net.Netsim.dropped_count net),
+          (fun () -> 0),
+          (fun () -> 0),
+          fun trace -> Net.Netsim.set_trace net trace )
     | Scenario.Transport h ->
-        Urcgc.Medium.of_transport ~h
-          (Net.Transport.create ?latency:scenario.latency engine ~fault
-             ~rng:(Sim.Rng.split rng) ())
+        let transport =
+          Net.Transport.create ?latency:scenario.latency engine ~fault
+            ~rng:(Sim.Rng.split rng) ()
+        in
+        ( Urcgc.Medium.of_transport ~h transport,
+          (fun () -> Net.Transport.dropped_count transport),
+          (fun () -> Net.Transport.retransmissions transport),
+          (fun () -> Net.Transport.fragments_sent transport),
+          fun trace -> Net.Transport.set_trace transport trace )
   in
+  (match tracer with
+  | Some trace when Sim.Trace.enabled trace ->
+      net_set_trace trace;
+      (* Narrate the fail-stop schedule: one Crash event at each scheduled
+         time.  The callbacks touch only the trace sink, so enabling tracing
+         cannot perturb the run itself. *)
+      List.iter
+        (fun (node, time) ->
+          ignore
+            (Sim.Engine.schedule_after engine ~delay:time (fun () ->
+                 Sim.Trace.emit trace ~time
+                   (Sim.Trace.Crash { node = Net.Node_id.to_int node }))))
+        scenario.fault.Net.Fault.crashes
+  | Some _ | None -> ());
   let medium =
     if scenario.codec_boundary then
       (* Workload payloads are ints; encode them as fixed-width strings so
@@ -130,7 +158,15 @@ let run ?tracer (scenario : Scenario.t) =
         (Urcgc.Cluster.members cluster);
       history_series := (round, !history_max) :: !history_series;
       history_peak := max !history_peak !history_max;
-      waiting_peak := max !waiting_peak !waiting_max);
+      waiting_peak := max !waiting_peak !waiting_max;
+      if Sim.Metrics.enabled metrics then begin
+        Sim.Metrics.set_gauge metrics "history.occupancy" !history_max;
+        Sim.Metrics.set_gauge metrics "waiting.depth" !waiting_max;
+        Sim.Metrics.observe metrics "history.occupancy_per_round"
+          (float_of_int !history_max);
+        Sim.Metrics.observe metrics "waiting.depth_per_round"
+          (float_of_int !waiting_max)
+      end);
   Urcgc.Cluster.start cluster;
   (* Advance one rtd at a time until the workload is exhausted and the group
      is quiescent, or the time cap is hit. *)
@@ -190,6 +226,18 @@ let run ?tracer (scenario : Scenario.t) =
       0
       (Urcgc.Cluster.discards cluster)
   in
+  if Sim.Metrics.enabled metrics then begin
+    Sim.Metrics.incr metrics ~by:(List.length generations) "messages.generated";
+    Sim.Metrics.incr metrics ~by:(List.length remote) "deliveries.remote";
+    Sim.Metrics.incr metrics ~by:discarded "messages.discarded";
+    Sim.Metrics.incr metrics
+      ~by:(List.length (Urcgc.Cluster.departures cluster))
+      "departures";
+    Sim.Metrics.incr metrics ~by:(net_dropped ()) "net.drops";
+    Sim.Metrics.incr metrics ~by:(net_retransmissions ()) "net.retransmissions";
+    Sim.Metrics.incr metrics ~by:(net_fragments ()) "net.fragments_sent";
+    List.iter (Sim.Metrics.observe metrics "delivery.latency_rtd") delays
+  end;
   {
     scenario;
     generated = List.length generations;

@@ -31,7 +31,13 @@ type report = {
   verdict : Checker.verdict;
 }
 
-val run : ?tracer:Sim.Tracer.t -> Scenario.t -> report
+val run : ?tracer:Sim.Tracer.t -> ?metrics:Sim.Metrics.t -> Scenario.t -> report
+(** [tracer] collects the typed protocol events (including network drops and
+    the fail-stop schedule); [metrics] (default {!Sim.Metrics.null}) is
+    populated with the run's counters, per-round depth gauges, and the
+    delivery-latency histogram — see [docs/TRACE.md] for the catalogue.
+    Neither affects the simulation itself: a traced run and an untraced run
+    of the same scenario behave identically. *)
 
 val control_msgs_per_subrun : report -> float
 val mean_delay_rtd : report -> float

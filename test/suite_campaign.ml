@@ -147,6 +147,82 @@ let campaign_tests =
             Alcotest.(check bool)
               "shrunk verdict is recorded" false
               (s.Workload.Campaign.shrunk_violations = []));
+    Alcotest.test_case "campaign with metrics embeds the per-run registry"
+      `Quick (fun () ->
+        let plain =
+          Workload.Campaign.to_json (Workload.Campaign.run ~budget:2 ~seed:3 ())
+        in
+        let with_metrics =
+          Workload.Campaign.to_json
+            (Workload.Campaign.run ~with_metrics:true ~budget:2 ~seed:3 ())
+        in
+        Alcotest.(check bool)
+          "plain report has no metrics key" false
+          (Astring_contains.contains plain "\"metrics\"");
+        (* Schema: every run object carries a metrics object with the three
+           sections and the headline series the issue names. *)
+        List.iter
+          (fun fragment ->
+            Alcotest.(check bool)
+              (Printf.sprintf "report contains %S" fragment)
+              true
+              (Astring_contains.contains with_metrics fragment))
+          [
+            "\"metrics\":{\"counters\":{";
+            "\"gauges\":{";
+            "\"histograms\":{";
+            "\"net.retransmissions\":";
+            "\"waiting.depth\":{\"last\":";
+            "\"history.occupancy\":{\"last\":";
+            "\"delivery.latency_rtd\":{\"count\":";
+          ];
+        (* Metrics must not perturb the sweep itself: stripping is not
+           practical textually, but the campaign verdict counts must agree. *)
+        let a = Workload.Campaign.run ~budget:2 ~seed:3 () in
+        let b = Workload.Campaign.run ~with_metrics:true ~budget:2 ~seed:3 () in
+        Alcotest.(check int)
+          "same failure count" a.Workload.Campaign.failed
+          b.Workload.Campaign.failed;
+        Alcotest.(check bool)
+          "with-metrics report is deterministic" true
+          (with_metrics
+          = Workload.Campaign.to_json
+              (Workload.Campaign.run ~with_metrics:true ~budget:2 ~seed:3 ())));
+    Alcotest.test_case "validate_spec rejects malformed CLI input" `Quick
+      (fun () ->
+        let base =
+          {
+            Workload.Campaign.n = 5;
+            k = 3;
+            rate = 0.5;
+            messages = 10;
+            send_omission = 0.0;
+            recv_omission = 0.0;
+            link_loss = 0.0;
+            silenced_per_subrun = 0;
+            crashes = [];
+            max_rtd = 60.0;
+          }
+        in
+        Workload.Campaign.validate_spec base;
+        let rejects label spec =
+          match Workload.Campaign.validate_spec spec with
+          | () -> Alcotest.failf "%s: accepted" label
+          | exception Invalid_argument _ -> ()
+        in
+        rejects "n = 0" { base with n = 0 };
+        rejects "k = 0" { base with k = 0 };
+        rejects "rate > 1" { base with rate = 7.0 };
+        rejects "rate < 0" { base with rate = -0.1 };
+        rejects "negative cap" { base with messages = -1 };
+        rejects "send-omission > 1" { base with send_omission = 1.5 };
+        rejects "recv-omission < 0" { base with recv_omission = -0.2 };
+        rejects "link-loss > 1" { base with link_loss = 2.0 };
+        rejects "negative silenced" { base with silenced_per_subrun = -2 };
+        rejects "silenced = n" { base with silenced_per_subrun = 5 };
+        rejects "crash node out of group" { base with crashes = [ (9, 1) ] };
+        rejects "crash at negative subrun" { base with crashes = [ (1, -1) ] };
+        rejects "zero time cap" { base with max_rtd = 0.0 });
     Alcotest.test_case "repro command round-trips the spec shape" `Quick
       (fun () ->
         let spec =

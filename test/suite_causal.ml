@@ -193,6 +193,26 @@ let waiting_tests =
           (Causal.Waiting_list.oldest w ~origin:(node 0));
         let v = Causal.Waiting_list.oldest_vector w in
         Alcotest.(check (option mid_testable)) "vector p2" (Some (mid 2 7)) v.(2));
+    Alcotest.test_case "oldest finds the first message of an origin" `Quick
+      (fun () ->
+        (* Regression: the probe used to be Mid.make ~seq:1, baking the
+           numbering base into the lookup.  The seq-1 (minimum-sequence)
+           message of each origin must itself be found, and an origin whose
+           neighbors have waiting messages must still report None. *)
+        let w = Causal.Waiting_list.create ~n:4 in
+        Causal.Waiting_list.add w (msg 0 1);
+        Causal.Waiting_list.add w (msg 2 1);
+        Causal.Waiting_list.add w (msg 2 2);
+        Alcotest.(check (option mid_testable)) "p0 first message"
+          (Some (mid 0 1))
+          (Causal.Waiting_list.oldest w ~origin:(node 0));
+        Alcotest.(check (option mid_testable)) "p1 none between neighbors" None
+          (Causal.Waiting_list.oldest w ~origin:(node 1));
+        Alcotest.(check (option mid_testable)) "p2 seq 1 beats seq 2"
+          (Some (mid 2 1))
+          (Causal.Waiting_list.oldest w ~origin:(node 2));
+        Alcotest.(check (option mid_testable)) "p3 past the last origin" None
+          (Causal.Waiting_list.oldest w ~origin:(node 3)));
     Alcotest.test_case "take_processable respects dependencies" `Quick (fun () ->
         let w = Causal.Waiting_list.create ~n:3 in
         let d = Causal.Delivery.create ~n:3 in

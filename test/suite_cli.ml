@@ -1,0 +1,73 @@
+(* The urcgc_sim binary's exit-code contract, exercised end-to-end on the
+   built executable:
+
+     0    verdict OK
+     1    verdict failure (safety/liveness violation found)
+     2    malformed input caught by spec validation (Invalid_argument)
+     124  command-line parse error (cmdliner)
+
+   The test stanza depends on ../bin/urcgc_sim.exe and runs from
+   _build/default/test/, so the relative path below is stable. *)
+
+let exe = Filename.concat Filename.parent_dir_name "bin/urcgc_sim.exe"
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" exe args)
+
+let check_exit label expected args =
+  Alcotest.test_case label `Quick (fun () ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: exit code of %S" label args)
+        expected (run_cli args))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_file f =
+  let path = Filename.temp_file "urcgc_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let tests =
+  [
+    check_exit "run rejects an empty group with exit 2" 2 "run -n 0";
+    check_exit "trace rejects an empty group with exit 2" 2 "trace -n 0";
+    check_exit "replay rejects a negative silencing count with exit 2" 2
+      "replay -n 5 --silenced=-2";
+    check_exit "replay rejects an out-of-range rate with exit 2" 2
+      "replay -n 5 --rate 7";
+    check_exit "campaign rejects a negative budget with exit 2" 2
+      "campaign --budget=-3";
+    check_exit "unknown flags are a parse error (124)" 124 "run --nonsense";
+    check_exit "a healthy tiny campaign exits 0" 0
+      "campaign --budget 1 --seed 1";
+    check_exit "campaign --metrics leaves the verdict untouched" 0
+      "campaign --metrics --budget 1 --seed 1";
+    Alcotest.test_case "a replayed violation exits 1" `Slow (fun () ->
+        (* A known failing reproducer: silencing beyond the t = (n-1)/2
+           budget, found (and shrunk) by the seed-42 over-budget campaign. *)
+        Alcotest.(check int)
+          "verdict failure" 1
+          (run_cli
+             "replay -n 4 -K 3 --rate 0.3 --messages 19 --silenced 2 \
+              --max-rtd 60 --seed 370735096921512237"));
+    Alcotest.test_case "trace --out is byte-identical across runs" `Slow
+      (fun () ->
+        with_temp_file (fun out_a ->
+            with_temp_file (fun out_b ->
+                let cmd out =
+                  Printf.sprintf
+                    "trace -n 4 -K 2 --rate 1 --messages 3 --seed 5 \
+                     --max-rtd 30 --out %s"
+                    (Filename.quote out)
+                in
+                Alcotest.(check int) "first run ok" 0 (run_cli (cmd out_a));
+                Alcotest.(check int) "second run ok" 0 (run_cli (cmd out_b));
+                let a = read_file out_a and b = read_file out_b in
+                Alcotest.(check bool) "non-empty" true (String.length a > 0);
+                Alcotest.(check string) "byte-identical JSONL" a b)));
+  ]
+
+let suite = [ ("cli.exit-codes", tests) ]

@@ -69,4 +69,122 @@ let tests =
         Alcotest.(check bool) "nontrivial run" true (List.length direct > 100));
   ]
 
-let suite = [ ("codec.boundary", tests) ]
+(* -- decode-error cases: short and oversized buffers --------------------
+
+   Every frame type must reject truncation (any strict prefix of a valid
+   encoding) and trailing garbage with Error, never Ok on partial data.
+   The recover-reply case is the nasty one: its payload is a list of
+   self-delimiting data messages, so a buffer cut exactly at a message
+   boundary used to decode Ok with silently fewer messages. *)
+
+let mid_ o s = Causal.Mid.make ~origin:(Net.Node_id.of_int o) ~seq:s
+
+let msg_ ?(deps = []) o s text =
+  Causal.Causal_msg.make ~mid:(mid_ o s) ~deps ~payload_size:(String.length text)
+    text
+
+let sample_bodies n : (string * string Urcgc.Wire.body) list =
+  [
+    ("data", Urcgc.Wire.Data (msg_ ~deps:[ mid_ 0 2 ] 1 5 "payload"));
+    ( "request",
+      Urcgc.Wire.Request
+        {
+          Urcgc.Wire.sender = node 2;
+          subrun = 3;
+          last_processed = Array.init n (fun i -> i);
+          waiting = Array.init n (fun _ -> None);
+          prev_decision = Urcgc.Decision.initial ~n;
+        } );
+    ("decision", Urcgc.Wire.Decision_pdu (Urcgc.Decision.initial ~n));
+    ( "recover_req",
+      Urcgc.Wire.Recover_req
+        { requester = node 0; origin = node 3; from_seq = 4; to_seq = 19 } );
+    ( "recover_reply",
+      Urcgc.Wire.Recover_reply
+        {
+          responder = node 1;
+          messages = [ msg_ 3 1 "a"; msg_ ~deps:[ mid_ 3 1 ] 3 2 "bb" ];
+        } );
+  ]
+
+let decode_error_tests =
+  let n = 6 in
+  let payload = Urcgc.Wire_codec.string_payload in
+  let decodes_ok raw =
+    match Urcgc.Wire_codec.decode_body payload ~n raw with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  List.concat_map
+    (fun (name, body) ->
+      let raw = Urcgc.Wire_codec.encode_body payload body in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s rejects every strict prefix" name)
+          `Quick
+          (fun () ->
+            Alcotest.(check bool) "full buffer decodes" true (decodes_ok raw);
+            for len = 0 to Bytes.length raw - 1 do
+              if decodes_ok (Bytes.sub raw 0 len) then
+                Alcotest.failf "prefix of %d/%d bytes decoded Ok" len
+                  (Bytes.length raw)
+            done);
+        Alcotest.test_case
+          (Printf.sprintf "%s rejects a trailing byte" name)
+          `Quick
+          (fun () ->
+            let oversized = Bytes.extend raw 0 1 in
+            Bytes.set oversized (Bytes.length raw) '\x00';
+            Alcotest.(check bool) "oversized rejected" false
+              (decodes_ok oversized));
+      ])
+    (sample_bodies n)
+  @ [
+      Alcotest.test_case
+        "recover_reply truncated at a message boundary is an error" `Quick
+        (fun () ->
+          let payload = Urcgc.Wire_codec.string_payload in
+          let one = msg_ 3 1 "a" in
+          let two = msg_ ~deps:[ mid_ 3 1 ] 3 2 "bb" in
+          let full =
+            Urcgc.Wire_codec.encode_body payload
+              (Urcgc.Wire.Recover_reply
+                 { responder = node 1; messages = [ one; two ] })
+          in
+          let only_first =
+            Urcgc.Wire_codec.encode_body payload
+              (Urcgc.Wire.Recover_reply
+                 { responder = node 1; messages = [ one ] })
+          in
+          (* Cut the two-message reply exactly where the one-message reply
+             ends: a clean inter-message boundary, not mid-field. *)
+          let cut = Bytes.sub full 0 (Bytes.length only_first) in
+          match Urcgc.Wire_codec.decode_body payload ~n:6 cut with
+          | Ok _ -> Alcotest.fail "boundary-truncated reply decoded Ok"
+          | Error reason ->
+              Alcotest.(check bool)
+                (Printf.sprintf "diagnosis mentions truncation: %S" reason)
+                true
+                (Astring_contains.contains reason "truncated"));
+      Alcotest.test_case "recover_reply round-trips through the new framing"
+        `Quick (fun () ->
+          let payload = Urcgc.Wire_codec.string_payload in
+          let messages = [ msg_ 3 1 "a"; msg_ ~deps:[ mid_ 3 1 ] 3 2 "bb" ] in
+          let body =
+            Urcgc.Wire.Recover_reply { responder = node 1; messages }
+          in
+          let raw = Urcgc.Wire_codec.encode_body payload body in
+          Alcotest.(check int)
+            "encoded length still matches Wire.body_size"
+            (Urcgc.Wire.body_size body)
+            (Bytes.length raw);
+          match Urcgc.Wire_codec.decode_body payload ~n:6 raw with
+          | Ok (Urcgc.Wire.Recover_reply { responder; messages = decoded }) ->
+              Alcotest.(check int) "responder" 1 (Net.Node_id.to_int responder);
+              Alcotest.(check int) "count" 2 (List.length decoded)
+          | Ok _ -> Alcotest.fail "decoded to a different body"
+          | Error reason -> Alcotest.failf "round-trip failed: %s" reason);
+    ]
+
+let suite =
+  [ ("codec.boundary", tests); ("codec.decode_errors", decode_error_tests) ]

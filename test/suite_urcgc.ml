@@ -330,7 +330,13 @@ let member_tests =
           Causal.Causal_msg.make ~mid:(mid 0 2) ~deps:[] ~payload_size:4 "x"
         in
         let actions = Urcgc.Member.handle m (Urcgc.Wire.Data msg2) in
-        Alcotest.(check int) "no processing" 0 (List.length actions);
+        (match actions with
+        | [ Urcgc.Member.Queued (queued_mid, depth) ] ->
+            Alcotest.(check bool)
+              "queued mid" true
+              (Causal.Mid.equal queued_mid (mid 0 2));
+            Alcotest.(check int) "depth after add" 1 depth
+        | _ -> Alcotest.fail "expected a single Queued action");
         Alcotest.(check int) "waiting" 1 (Urcgc.Member.waiting_length m);
         (* The gap fills: both process in order. *)
         let msg1 =
