@@ -20,6 +20,7 @@ let experiments =
     ("scale", "Control-plane cost vs group size", Scale.run);
     ("service", "Service-rate ceiling: one message per process per round", Service.run);
     ("campaign", "Randomized fault campaign within and beyond the t budget", Campaign.run);
+    ("analysis", "Offline trace analysis of a representative faulty run", Analysis.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -42,6 +43,7 @@ let () =
       Scale.run ();
       Service.run ();
       Campaign.run ();
+      Analysis.run ();
       Micro.run ()
   | names ->
       List.iter

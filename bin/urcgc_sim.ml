@@ -185,6 +185,94 @@ let trace_cmd =
           The human report goes to standard error.")
     term
 
+(* ---- analyze: offline trace analysis ----------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let analyze_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~doc:"JSONL trace file (as produced by $(b,urcgc_sim trace))."
+        ~docv:"TRACE")
+
+let perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perfetto" ]
+        ~doc:
+          "Also write a Chrome trace-event (Perfetto) timeline to $(docv); \
+           load it in ui.perfetto.dev or chrome://tracing."
+        ~docv:"FILE")
+
+let run_analyze file out perfetto =
+  cli_guard @@ fun () ->
+  match read_lines file with
+  | exception Sys_error msg ->
+      Format.eprintf "urcgc_sim: %s@." msg;
+      2
+  | lines -> (
+      match Sim.Analysis.parse_jsonl lines with
+      | Error msg ->
+          Format.eprintf "urcgc_sim: %s: %s@." file msg;
+          2
+      | Ok (records, metrics_json) ->
+          let analysis = Sim.Analysis.analyze ?metrics_json records in
+          let report = Sim.Analysis.report_json analysis in
+          (match out with
+          | Some path -> write_file path report
+          | None ->
+              print_string report;
+              print_newline ());
+          (match perfetto with
+          | Some path -> write_file path (Sim.Analysis.perfetto_json records)
+          | None -> ());
+          Format.eprintf "%a@." Sim.Analysis.pp_summary analysis;
+          if Sim.Analysis.verdict_ok analysis.Sim.Analysis.verdict then 0
+          else 1)
+
+let analyze_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ]
+        ~doc:
+          "Write the JSON analysis report to $(docv) instead of standard \
+           output."
+        ~docv:"FILE")
+
+let analyze_cmd =
+  let term =
+    Term.(const run_analyze $ analyze_file_arg $ analyze_out_arg $ perfetto_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a JSONL protocol trace offline: reconstruct per-message \
+          lifecycles, re-check the causal/at-most-once/atomicity/no-zombie \
+          invariants from events alone, and emit a deterministic JSON report \
+          (plus, with $(b,--perfetto), a timeline for ui.perfetto.dev). The \
+          human summary goes to standard error; the exit status is 0 when \
+          the oracle found no violation, 1 otherwise, 2 on unreadable or \
+          malformed input.")
+    term
+
 let run_cbcast n k rate messages crashes seed trace max_rtd =
   cli_guard @@ fun () ->
   let load = Workload.Load.make ~rate ~total_messages:messages () in
@@ -345,11 +433,22 @@ let out_arg =
            human summary then goes to standard output instead of stderr)."
         ~docv:"FILE")
 
-let run_campaign budget seed over_budget no_shrink with_metrics out =
+let campaign_analyze_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Trace every run, feed it through the offline trace oracle, and \
+           embed the per-run analysis report plus the checker-vs-oracle \
+           agreement bit in the JSON output.")
+
+let run_campaign budget seed over_budget no_shrink with_metrics with_analysis
+    out =
   cli_guard @@ fun () ->
   let campaign =
     Workload.Campaign.run ~over_budget ~shrink_failures:(not no_shrink)
-      ~with_metrics ~budget ~seed ()
+      ~with_metrics ~with_analysis ~budget ~seed ()
   in
   let json = Workload.Campaign.to_json campaign in
   (match out with
@@ -363,13 +462,24 @@ let run_campaign budget seed over_budget no_shrink with_metrics out =
       print_string json;
       print_newline ();
       Format.eprintf "%a@." Workload.Campaign.pp_summary campaign);
-  if campaign.Workload.Campaign.failed = 0 then 0 else 1
+  let disagreements =
+    List.filter
+      (fun r -> r.Workload.Campaign.oracle_agrees = Some false)
+      campaign.Workload.Campaign.runs
+  in
+  List.iter
+    (fun r ->
+      Format.eprintf
+        "run %d (seed %d): trace oracle disagrees with the live checker@."
+        r.Workload.Campaign.index r.Workload.Campaign.seed)
+    disagreements;
+  if campaign.Workload.Campaign.failed = 0 && disagreements = [] then 0 else 1
 
 let campaign_cmd =
   let term =
     Term.(
       const run_campaign $ budget_arg $ seed_arg $ over_budget_arg
-      $ no_shrink_arg $ metrics_arg $ out_arg)
+      $ no_shrink_arg $ metrics_arg $ campaign_analyze_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -407,8 +517,17 @@ let silenced_arg =
     & info [ "silenced" ]
         ~doc:"Processes silenced per subrun (adversarial bursts).")
 
+let replay_analyze_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Trace the run, print the offline trace-oracle summary, and fail \
+           if the oracle disagrees with the live checker.")
+
 let run_replay n k rate messages send_omission recv_omission link_loss
-    silenced crashes max_rtd seed trace metrics =
+    silenced crashes max_rtd seed trace metrics analyze =
   cli_guard @@ fun () ->
   let spec =
     {
@@ -427,7 +546,13 @@ let run_replay n k rate messages send_omission recv_omission link_loss
       max_rtd;
     }
   in
-  let tracer = if trace then Sim.Tracer.create () else Sim.Tracer.null in
+  (* The analyzer needs the whole run, so --analyze upgrades the bounded
+     default ring to an unbounded sink. *)
+  let tracer =
+    if analyze then Sim.Trace.unbounded ()
+    else if trace then Sim.Tracer.create ()
+    else Sim.Tracer.null
+  in
   let registry = if metrics then Sim.Metrics.create () else Sim.Metrics.null in
   let scenario =
     Workload.Campaign.scenario_of_spec ~name:"replay" ~seed spec
@@ -439,9 +564,23 @@ let run_replay n k rate messages send_omission recv_omission link_loss
   Format.printf "spec: %a@." Workload.Campaign.pp_spec spec;
   if metrics then
     Format.printf "@[<v 2>metrics:@ %a@]@." Sim.Metrics.pp registry;
+  let oracle_agrees =
+    if not analyze then true
+    else begin
+      let analysis = Sim.Analysis.analyze ~n (Sim.Trace.records tracer) in
+      Format.printf "@[<v 2>analysis:@ %a@]@." Sim.Analysis.pp_summary analysis;
+      let agrees =
+        Workload.Analyzer.agrees report.Workload.Runner.verdict
+          analysis.Sim.Analysis.verdict
+      in
+      if not agrees then
+        Format.printf "replay: trace oracle disagrees with the live checker@.";
+      agrees
+    end
+  in
   if outcome.Workload.Campaign.ok then begin
     Format.printf "replay: ok@.";
-    0
+    if oracle_agrees then 0 else 1
   end
   else begin
     List.iter
@@ -455,7 +594,8 @@ let replay_cmd =
     Term.(
       const run_replay $ n_arg $ k_arg $ rate_arg $ messages_arg
       $ send_omission_arg $ recv_omission_arg $ link_loss_arg $ silenced_arg
-      $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg $ metrics_arg)
+      $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg $ metrics_arg
+      $ replay_analyze_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -471,6 +611,7 @@ let main_cmd =
     [
       run_cmd;
       trace_cmd;
+      analyze_cmd;
       cbcast_cmd;
       psync_cmd;
       urgc_cmd;

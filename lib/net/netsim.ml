@@ -52,6 +52,12 @@ let one_way_delay t =
   in
   Sim.Ticks.add t.latency.base (Sim.Ticks.of_int jitter)
 
+let traffic_class_of_kind = function
+  | Traffic.Data -> Sim.Trace.Traffic_class.Data
+  | Traffic.Control -> Sim.Trace.Traffic_class.Control
+  | Traffic.Recovery -> Sim.Trace.Traffic_class.Recovery
+  | Traffic.Ack -> Sim.Trace.Traffic_class.Ack
+
 let drop t packet stage =
   t.dropped <- t.dropped + 1;
   if Sim.Trace.enabled t.trace then
@@ -60,7 +66,7 @@ let drop t packet stage =
          {
            src = Node_id.to_int packet.src;
            dst = Node_id.to_int packet.dst;
-           kind = Traffic.kind_to_string packet.kind;
+           kind = traffic_class_of_kind packet.kind;
            stage;
          })
 

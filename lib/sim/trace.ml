@@ -1,5 +1,28 @@
 type mid = { origin : int; seq : int }
 
+(* Closed set of subnetwork traffic classes (mirrors [Net.Traffic.kind],
+   which lives above this library).  Drop events carry one of these instead
+   of a free-form string so consumers — the analyzer in particular — never
+   string-match; the JSONL rendering is unchanged. *)
+module Traffic_class = struct
+  type t = Data | Control | Recovery | Ack
+
+  let to_string = function
+    | Data -> "data"
+    | Control -> "control"
+    | Recovery -> "recovery"
+    | Ack -> "ack"
+
+  let of_string = function
+    | "data" -> Some Data
+    | "control" -> Some Control
+    | "recovery" -> Some Recovery
+    | "ack" -> Some Ack
+    | _ -> None
+
+  let all = [ Data; Control; Recovery; Ack ]
+end
+
 type pdu =
   | Data of { origin : int; seq : int; deps : int; bytes : int }
   | Request of { sender : int; subrun : int }
@@ -15,6 +38,13 @@ let stage_to_string = function
   | On_recv -> "recv"
   | On_filter -> "filter"
 
+let stage_of_string = function
+  | "send" -> Some On_send
+  | "link" -> Some On_link
+  | "recv" -> Some On_recv
+  | "filter" -> Some On_filter
+  | _ -> None
+
 type event =
   | Send of { src : int; dst : int; pdu : pdu }
   | Broadcast of { src : int; dsts : int; pdu : pdu }
@@ -26,7 +56,7 @@ type event =
   | Rotate of { subrun : int; coordinator : int }
   | Left of { node : int; reason : string }
   | Crash of { node : int }
-  | Drop of { src : int; dst : int; kind : string; stage : stage }
+  | Drop of { src : int; dst : int; kind : Traffic_class.t; stage : stage }
   | Note of { source : string; message : string }
 
 type record = { time : Ticks.t; event : event }
@@ -59,6 +89,8 @@ let records = function
   | Sink s -> List.of_seq (Queue.to_seq s.queue)
 
 let count = function Null -> 0 | Sink s -> s.total
+
+let retained = function Null -> 0 | Sink s -> Queue.length s.queue
 
 let find t ~f =
   match t with Null -> None | Sink s -> Seq.find f (Queue.to_seq s.queue)
@@ -113,8 +145,9 @@ let event_message event =
   | Left { reason; _ } -> Printf.sprintf "left the group: %s" reason
   | Crash { node } -> Printf.sprintf "fail-stop of n%d" node
   | Drop { src; dst; kind; stage } ->
-      Printf.sprintf "dropped %s packet n%d->n%d (%s)" kind src dst
-        (stage_to_string stage)
+      Printf.sprintf "dropped %s packet n%d->n%d (%s)"
+        (Traffic_class.to_string kind)
+        src dst (stage_to_string stage)
   | Note { message; _ } -> message
 
 let pp_record ppf { time; event } =
@@ -203,7 +236,7 @@ let buf_record buf { time; event } =
   | Crash { node } -> Printf.bprintf buf "\"crash\",\"node\":%d" node
   | Drop { src; dst; kind; stage } ->
       Printf.bprintf buf "\"drop\",\"src\":%d,\"dst\":%d,\"kind\":" src dst;
-      buf_json_string buf kind;
+      buf_json_string buf (Traffic_class.to_string kind);
       Buffer.add_string buf ",\"stage\":";
       buf_json_string buf (stage_to_string stage)
   | Note { source; message } ->

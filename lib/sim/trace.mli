@@ -12,6 +12,24 @@
 
 type mid = { origin : int; seq : int }
 
+(** Closed set of subnetwork traffic classes (the sim-level mirror of
+    [Net.Traffic.kind], which lives above this library).  {!event.Drop}
+    carries one of these instead of a free-form string, so consumers match
+    on constructors rather than strings; the JSONL rendering is exactly the
+    lower-case constructor name and is byte-identical to the old free-form
+    output. *)
+module Traffic_class : sig
+  type t = Data | Control | Recovery | Ack
+
+  val to_string : t -> string
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string}; [None] on anything else. *)
+
+  val all : t list
+  (** Every class, in rendering order. *)
+end
+
 type pdu =
   | Data of { origin : int; seq : int; deps : int; bytes : int }
   | Request of { sender : int; subrun : int }
@@ -23,6 +41,9 @@ type stage = On_send | On_link | On_recv | On_filter
 (** Where in the network pipeline a packet was dropped. *)
 
 val stage_to_string : stage -> string
+
+val stage_of_string : string -> stage option
+(** Inverse of {!stage_to_string}; [None] on anything else. *)
 
 type event =
   | Send of { src : int; dst : int; pdu : pdu }  (** unicast PDU send *)
@@ -39,7 +60,7 @@ type event =
   | Rotate of { subrun : int; coordinator : int }  (** coordinator rotation *)
   | Left of { node : int; reason : string }
   | Crash of { node : int }  (** fault injection: scheduled fail-stop *)
-  | Drop of { src : int; dst : int; kind : string; stage : stage }
+  | Drop of { src : int; dst : int; kind : Traffic_class.t; stage : stage }
       (** fault injection: the subnetwork lost a packet *)
   | Note of { source : string; message : string }
       (** free-form, emitted via the {!Tracer} compatibility shim *)
@@ -55,8 +76,13 @@ val null : t
     to it retains nothing. *)
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] bounds the number of retained records (default 65536); older
-    records are dropped first.  Raises [Invalid_argument] if [capacity < 1]. *)
+(** [capacity] bounds the number of retained records (default 65536); once
+    full, the ring drops the oldest record on every emit, so the sink always
+    holds the newest [capacity] records — a contiguous {e suffix} of the
+    run.  {!count} keeps reporting the total ever emitted (so
+    [count t - retained t] is the number dropped), which is how the analyzer
+    detects truncation and reports a coverage window.  Raises
+    [Invalid_argument] if [capacity <= 0]. *)
 
 val unbounded : unit -> t
 (** A sink that never drops — used by the [urcgc_sim trace] export, where
@@ -73,6 +99,10 @@ val records : t -> record list
 
 val count : t -> int
 (** Total number of events emitted, including dropped ones. *)
+
+val retained : t -> int
+(** Number of records currently held ([<= capacity]; [count] minus the
+    records the ring dropped). *)
 
 val find : t -> f:(record -> bool) -> record option
 

@@ -1,0 +1,44 @@
+(* Bridge between a live run and the offline trace oracle.
+
+   Runs a scenario with an unbounded trace sink, feeds the records through
+   Sim.Analysis, and compares the oracle's verdict bit-by-bit against the
+   live checker's.  The two are independent implementations over different
+   inputs (cluster state vs. the event stream), so agreement is real
+   evidence; the campaign property test drives this across randomized
+   fault-injected runs. *)
+
+type result = { report : Runner.report; analysis : Sim.Analysis.t }
+
+let run_scenario ?metrics (scenario : Scenario.t) =
+  let tracer = Sim.Trace.unbounded () in
+  let report = Runner.run ~tracer ?metrics scenario in
+  let analysis =
+    Sim.Analysis.analyze ~n:scenario.Scenario.config.Urcgc.Config.n
+      (Sim.Trace.records tracer)
+  in
+  { report; analysis }
+
+(* The live checker folds duplicate processing into its causal check (a
+   duplicate is never [processable]), and its view-agreement check reads
+   member state the trace does not carry; hence the asymmetric mapping. *)
+let agrees (checker : Checker.verdict) (oracle : Sim.Analysis.verdict) =
+  Bool.equal checker.Checker.causal_ok
+    (oracle.Sim.Analysis.causal_ok && oracle.Sim.Analysis.at_most_once_ok)
+  && Bool.equal checker.Checker.atomicity_ok oracle.Sim.Analysis.atomicity_ok
+  && Bool.equal checker.Checker.zombie_ok oracle.Sim.Analysis.zombie_ok
+
+let pp_disagreement ppf ((checker : Checker.verdict), (oracle : Sim.Analysis.verdict)) =
+  Format.fprintf ppf
+    "@[<v>checker: causal=%b atomicity=%b zombie=%b@,\
+     oracle:  causal=%b at_most_once=%b atomicity=%b zombie=%b@,\
+     checker violations:%a@,oracle violations:%a@]"
+    checker.Checker.causal_ok checker.Checker.atomicity_ok
+    checker.Checker.zombie_ok oracle.Sim.Analysis.causal_ok
+    oracle.Sim.Analysis.at_most_once_ok oracle.Sim.Analysis.atomicity_ok
+    oracle.Sim.Analysis.zombie_ok
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf v ->
+         Format.fprintf ppf "  - %s" v))
+    checker.Checker.violations
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf v ->
+         Format.fprintf ppf "  - %s" v))
+    oracle.Sim.Analysis.violations

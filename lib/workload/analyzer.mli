@@ -1,0 +1,26 @@
+(** Bridge between a live run and the offline trace oracle.
+
+    {!run_scenario} executes a scenario with an unbounded trace sink and
+    analyzes the resulting event stream, so callers get both the live
+    {!Checker} verdict (inside the report) and the independent
+    [Sim.Analysis] one; {!agrees} is the cross-validation predicate the
+    campaign property test enforces run by run. *)
+
+type result = { report : Runner.report; analysis : Sim.Analysis.t }
+
+val run_scenario : ?metrics:Sim.Metrics.t -> Scenario.t -> result
+(** Run [scenario] with tracing on and analyze the trace.  The analyzer is
+    given the scenario's configured group size, so silent members still
+    count toward atomicity. *)
+
+val agrees : Checker.verdict -> Sim.Analysis.verdict -> bool
+(** Bit-by-bit agreement between the live checker and the trace oracle:
+    the checker's [causal_ok] corresponds to the oracle's
+    [causal_ok && at_most_once_ok] (the live replay treats a duplicate as a
+    causal-order failure), and [atomicity_ok]/[zombie_ok] map directly.
+    View agreement is not derivable from the trace and is excluded. *)
+
+val pp_disagreement :
+  Format.formatter -> Checker.verdict * Sim.Analysis.verdict -> unit
+(** Diagnostic rendering for a failed {!agrees}: both verdicts and both
+    violation lists. *)

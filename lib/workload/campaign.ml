@@ -128,8 +128,8 @@ let evaluate spec (report : Runner.report) =
     violations = verdict.Checker.violations @ liveness;
   }
 
-let execute ?metrics ~seed spec =
-  let report = Runner.run ?metrics (scenario_of_spec ~seed spec) in
+let execute ?metrics ?tracer ~seed spec =
+  let report = Runner.run ?tracer ?metrics (scenario_of_spec ~seed spec) in
   (evaluate spec report, report)
 
 (* ---- Random configuration generation ---------------------------------- *)
@@ -302,6 +302,8 @@ type run = {
   mean_delay_rtd : float;
   shrunk : shrunk option;
   metrics : string option;
+  analysis : string option;
+  oracle_agrees : bool option;
 }
 
 type t = {
@@ -331,7 +333,7 @@ let repro_command ~seed spec =
   Buffer.contents buf
 
 let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
-    ~budget ~seed () =
+    ?(with_analysis = false) ~budget ~seed () =
   if budget < 0 then invalid_arg "Campaign.run: negative budget";
   let rng = Sim.Rng.create ~seed in
   let runs =
@@ -344,7 +346,13 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
         let metrics =
           if with_metrics then Sim.Metrics.create () else Sim.Metrics.null
         in
-        let outcome, report = execute ~metrics ~seed:run_seed spec in
+        let tracer = if with_analysis then Some (Sim.Trace.unbounded ()) else None in
+        let outcome, report = execute ~metrics ?tracer ~seed:run_seed spec in
+        let analysis =
+          Option.map
+            (fun t -> Sim.Analysis.analyze ~n:spec.n (Sim.Trace.records t))
+            tracer
+        in
         let shrunk =
           if outcome.ok || not shrink_failures then None
           else Some (shrink ~seed:run_seed spec outcome)
@@ -361,6 +369,12 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
           shrunk;
           metrics =
             (if with_metrics then Some (Sim.Metrics.to_json metrics) else None);
+          analysis = Option.map Sim.Analysis.report_json analysis;
+          oracle_agrees =
+            Option.map
+              (fun a ->
+                Analyzer.agrees report.Runner.verdict a.Sim.Analysis.verdict)
+              analysis;
         })
   in
   let failed = List.length (List.filter (fun r -> not r.outcome.ok) runs) in
@@ -435,6 +449,12 @@ let buf_run buf r =
   (match r.metrics with
   | None -> ()
   | Some json -> Printf.bprintf buf ",\"metrics\":%s" json);
+  (match r.oracle_agrees with
+  | None -> ()
+  | Some agrees -> Printf.bprintf buf ",\"oracle_agrees\":%b" agrees);
+  (match r.analysis with
+  | None -> ()
+  | Some json -> Printf.bprintf buf ",\"analysis\":%s" json);
   Buffer.add_char buf '}'
 
 let to_json t =

@@ -63,9 +63,11 @@ val evaluate : spec -> Runner.report -> outcome
       departures drains completely — every generated message is processed
       at all [n - 1] remote processes before the time cap. *)
 
-val execute : ?metrics:Sim.Metrics.t -> seed:int -> spec -> outcome * Runner.report
+val execute :
+  ?metrics:Sim.Metrics.t -> ?tracer:Sim.Trace.t -> seed:int -> spec ->
+  outcome * Runner.report
 (** Build the scenario, run the simulation, evaluate.  [metrics] (default
-    {!Sim.Metrics.null}) is forwarded to {!Runner.run}. *)
+    {!Sim.Metrics.null}) and [tracer] are forwarded to {!Runner.run}. *)
 
 type shrunk = {
   shrunk_spec : spec;  (** minimal configuration that still fails *)
@@ -95,6 +97,12 @@ type run = {
   metrics : string option;
       (** per-run {!Sim.Metrics} registry rendered to JSON; present iff the
           campaign ran with [with_metrics] *)
+  analysis : string option;
+      (** per-run [Sim.Analysis] report JSON; present iff the campaign ran
+          with [with_analysis] *)
+  oracle_agrees : bool option;
+      (** whether the trace oracle's verdict agrees with the live checker's
+          ({!Analyzer.agrees}); present iff [with_analysis] *)
 }
 
 type t = {
@@ -112,10 +120,13 @@ val generate : ?over_budget:bool -> Sim.Rng.t -> spec
 
 val run :
   ?over_budget:bool -> ?shrink_failures:bool -> ?with_metrics:bool ->
-  budget:int -> seed:int -> unit -> t
+  ?with_analysis:bool -> budget:int -> seed:int -> unit -> t
 (** Run a whole campaign.  [shrink_failures] (default true) minimizes every
     failing run.  [with_metrics] (default false) records a fresh
-    {!Sim.Metrics} registry per run and embeds its JSON in the report. *)
+    {!Sim.Metrics} registry per run and embeds its JSON in the report.
+    [with_analysis] (default false) traces every run, feeds it through the
+    offline [Sim.Analysis] oracle, and embeds the analysis report plus the
+    checker-vs-oracle agreement bit. *)
 
 val repro_command : seed:int -> spec -> string
 (** The [urcgc_sim replay ...] command line reproducing this exact run. *)

@@ -1,10 +1,12 @@
 type verdict = {
   causal_ok : bool;
   atomicity_ok : bool;
+  zombie_ok : bool;
+  views_ok : bool;
   violations : string list;
 }
 
-let ok v = v.causal_ok && v.atomicity_ok
+let ok v = v.causal_ok && v.atomicity_ok && v.zombie_ok && v.views_ok
 
 let check_causal_order cluster violations =
   let config = Urcgc.Cluster.config cluster in
@@ -146,11 +148,7 @@ let check cluster =
   let atomicity_ok = check_atomicity cluster violations in
   let zombie_ok = check_no_zombie cluster violations in
   let views_ok = check_views cluster violations in
-  {
-    causal_ok;
-    atomicity_ok = atomicity_ok && zombie_ok && views_ok;
-    violations = List.rev !violations;
-  }
+  { causal_ok; atomicity_ok; zombie_ok; views_ok; violations = List.rev !violations }
 
 let pp ppf v =
   if ok v then Format.pp_print_string ppf "all invariants hold"

@@ -14,10 +14,18 @@
 type verdict = {
   causal_ok : bool;
   atomicity_ok : bool;
+      (** survivors processed the same message sets (set equality only; the
+          zombie and view clauses report separately below) *)
+  zombie_ok : bool;
+  views_ok : bool;
   violations : string list;  (** human-readable description of each failure *)
 }
 
 val ok : verdict -> bool
+(** All four clauses hold.  The clauses are separate fields so the
+    trace-level oracle ({!Sim.Analysis}) can be cross-validated bit by bit:
+    it can witness causality, atomicity, and zombie processing from events
+    alone, but not view agreement (per-node view state is never traced). *)
 
 val check : 'a Urcgc.Cluster.t -> verdict
 

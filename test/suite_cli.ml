@@ -68,6 +68,52 @@ let tests =
                 let a = read_file out_a and b = read_file out_b in
                 Alcotest.(check bool) "non-empty" true (String.length a > 0);
                 Alcotest.(check string) "byte-identical JSONL" a b)));
+    check_exit "analyze on a missing file exits 2" 2 "analyze /nonexistent.jsonl";
+    Alcotest.test_case "analyze on a malformed line exits 2" `Quick (fun () ->
+        with_temp_file (fun path ->
+            let oc = open_out path in
+            output_string oc "{\"t\":0,\"ev\":\"mystery\"}\n";
+            close_out oc;
+            Alcotest.(check int)
+              "schema violation" 2
+              (run_cli (Printf.sprintf "analyze %s" (Filename.quote path)))));
+    Alcotest.test_case "trace | analyze: clean verdict, deterministic exports"
+      `Slow (fun () ->
+        with_temp_file (fun trace_path ->
+            with_temp_file (fun report_a ->
+                with_temp_file (fun report_b ->
+                    with_temp_file (fun perf_a ->
+                        with_temp_file (fun perf_b ->
+                            Alcotest.(check int)
+                              "trace ok" 0
+                              (run_cli
+                                 (Printf.sprintf
+                                    "trace -n 4 -K 2 --rate 1 --messages 3 \
+                                     --seed 5 --max-rtd 30 --metrics --out %s"
+                                    (Filename.quote trace_path)));
+                            let analyze report perf =
+                              run_cli
+                                (Printf.sprintf
+                                   "analyze %s --out %s --perfetto %s"
+                                   (Filename.quote trace_path)
+                                   (Filename.quote report)
+                                   (Filename.quote perf))
+                            in
+                            Alcotest.(check int)
+                              "clean verdict" 0 (analyze report_a perf_a);
+                            Alcotest.(check int)
+                              "second pass" 0 (analyze report_b perf_b);
+                            let a = read_file report_a in
+                            Alcotest.(check bool)
+                              "verdict embedded" true
+                              (Astring_contains.contains a {|"ok":true|});
+                            Alcotest.(check string)
+                              "report deterministic" a (read_file report_b);
+                            Alcotest.(check string)
+                              "perfetto deterministic" (read_file perf_a)
+                              (read_file perf_b)))))));
+    check_exit "campaign --analyze leaves a healthy verdict untouched" 0
+      "campaign --analyze --budget 1 --seed 1";
   ]
 
 let suite = [ ("cli.exit-codes", tests) ]

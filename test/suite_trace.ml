@@ -85,7 +85,55 @@ let sink_tests =
     Alcotest.test_case "create rejects capacity < 1" `Quick (fun () ->
         Alcotest.check_raises "zero"
           (Invalid_argument "Trace.create: capacity must be positive")
-          (fun () -> ignore (Sim.Trace.create ~capacity:0 ())));
+          (fun () -> ignore (Sim.Trace.create ~capacity:0 ()));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Trace.create: capacity must be positive")
+          (fun () -> ignore (Sim.Trace.create ~capacity:(-3) ())));
+    Alcotest.test_case "count tallies all emissions, retained only the kept"
+      `Quick (fun () ->
+        let t = Sim.Trace.create ~capacity:3 () in
+        Alcotest.(check int) "retained when empty" 0 (Sim.Trace.retained t);
+        for i = 1 to 10 do
+          Sim.Trace.emit t ~time:(at i) (note (string_of_int i))
+        done;
+        Alcotest.(check int) "count" 10 (Sim.Trace.count t);
+        Alcotest.(check int) "retained" 3 (Sim.Trace.retained t);
+        Alcotest.(check int)
+          "retained = records length" (List.length (Sim.Trace.records t))
+          (Sim.Trace.retained t);
+        let u = Sim.Trace.unbounded () in
+        for i = 1 to 10 do
+          Sim.Trace.emit u ~time:(at i) (note (string_of_int i))
+        done;
+        Alcotest.(check int) "unbounded retains all" 10 (Sim.Trace.retained u));
+    Alcotest.test_case "traffic class and stage names round-trip" `Quick
+      (fun () ->
+        List.iter
+          (fun class_ ->
+            let name = Sim.Trace.Traffic_class.to_string class_ in
+            match Sim.Trace.Traffic_class.of_string name with
+            | Some back when back = class_ -> ()
+            | _ -> Alcotest.failf "traffic class %s does not round-trip" name)
+          Sim.Trace.Traffic_class.all;
+        Alcotest.(check int)
+          "four classes" 4
+          (List.length Sim.Trace.Traffic_class.all);
+        Alcotest.(check bool)
+          "unknown class rejected" true
+          (Sim.Trace.Traffic_class.of_string "gossip" = None);
+        List.iter
+          (fun stage ->
+            let name = Sim.Trace.stage_to_string stage in
+            match Sim.Trace.stage_of_string name with
+            | Some back when back = stage -> ()
+            | _ -> Alcotest.failf "stage %s does not round-trip" name)
+          [
+            Sim.Trace.On_send; Sim.Trace.On_link; Sim.Trace.On_recv;
+            Sim.Trace.On_filter;
+          ];
+        Alcotest.(check bool)
+          "unknown stage rejected" true
+          (Sim.Trace.stage_of_string "wire" = None));
     Alcotest.test_case "null retains nothing, ever" `Quick (fun () ->
         (* Regression: Tracer.null used to be a shared mutable record, so
            every user of the "disabled" tracer aliased one global queue.
@@ -148,7 +196,12 @@ let jsonl_tests =
           {|{"t":12,"ev":"drop","src":0,"dst":3,"kind":"data","stage":"link"}|}
           (json
              (Sim.Trace.Drop
-                { src = 0; dst = 3; kind = "data"; stage = Sim.Trace.On_link }));
+                {
+                  src = 0;
+                  dst = 3;
+                  kind = Sim.Trace.Traffic_class.Data;
+                  stage = Sim.Trace.On_link;
+                }));
         Alcotest.(check string)
           "wait_add"
           {|{"t":12,"ev":"wait_add","node":1,"origin":2,"seq":9,"depth":4}|}
@@ -286,6 +339,43 @@ let metrics_tests =
             Alcotest.(check (float 1e-9)) "mean" 5.5 s.Sim.Metrics.mean;
             Alcotest.(check (float 1e-9)) "p50" 5.0 s.Sim.Metrics.p50;
             Alcotest.(check (float 1e-9)) "p95" 10.0 s.Sim.Metrics.p95);
+    Alcotest.test_case "empty registry renders empty sections" `Quick
+      (fun () ->
+        let m = Sim.Metrics.create () in
+        Alcotest.(check string)
+          "json" {|{"counters":{},"gauges":{},"histograms":{}}|}
+          (Sim.Metrics.to_json m);
+        Alcotest.(check bool) "enabled" true (Sim.Metrics.enabled m);
+        Alcotest.(check bool)
+          "no histogram" true
+          (Sim.Metrics.histogram m "h" = None));
+    Alcotest.test_case "single-sample histogram is its every statistic" `Quick
+      (fun () ->
+        let m = Sim.Metrics.create () in
+        Sim.Metrics.observe m "h" 4.25;
+        match Sim.Metrics.histogram m "h" with
+        | None -> Alcotest.fail "histogram missing"
+        | Some s ->
+            Alcotest.(check int) "count" 1 s.Sim.Metrics.count;
+            Alcotest.(check (float 1e-9)) "mean" 4.25 s.Sim.Metrics.mean;
+            Alcotest.(check (float 1e-9)) "min" 4.25 s.Sim.Metrics.min;
+            Alcotest.(check (float 1e-9)) "max" 4.25 s.Sim.Metrics.max;
+            Alcotest.(check (float 1e-9)) "p50" 4.25 s.Sim.Metrics.p50;
+            Alcotest.(check (float 1e-9)) "p95" 4.25 s.Sim.Metrics.p95);
+    Alcotest.test_case "nearest-rank boundaries on 20 samples" `Quick
+      (fun () ->
+        (* rank(q) = ceil(q * count): p50 is the 10th of 20 ordered samples
+           and p95 the 19th — one off either end, where rounding errors in a
+           quantile implementation first show. *)
+        let m = Sim.Metrics.create () in
+        for i = 20 downto 1 do
+          Sim.Metrics.observe m "h" (float_of_int i)
+        done;
+        match Sim.Metrics.histogram m "h" with
+        | None -> Alcotest.fail "histogram missing"
+        | Some s ->
+            Alcotest.(check (float 1e-9)) "p50" 10.0 s.Sim.Metrics.p50;
+            Alcotest.(check (float 1e-9)) "p95" 19.0 s.Sim.Metrics.p95);
     Alcotest.test_case "null registry records nothing" `Quick (fun () ->
         let m = Sim.Metrics.null in
         Sim.Metrics.incr m "a";

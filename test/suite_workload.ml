@@ -60,6 +60,8 @@ let checker_tests =
           {
             Workload.Checker.causal_ok = false;
             atomicity_ok = true;
+            zombie_ok = true;
+            views_ok = true;
             violations = [ "synthetic violation" ];
           }
         in
