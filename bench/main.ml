@@ -6,6 +6,20 @@
      dune exec bench/main.exe -- fig5 table1 fig6a fig6b micro
 *)
 
+(* Options consumed by the `hotpath` experiment (ignored by the others):
+   --quick, --out FILE, --check FILE. *)
+type hotpath_opts = {
+  mutable quick : bool;
+  mutable out : string option;
+  mutable check : string option;
+}
+
+let hotpath_opts = { quick = false; out = None; check = None }
+
+let run_hotpath () =
+  Hotpath.run ~quick:hotpath_opts.quick ?out:hotpath_opts.out
+    ?check:hotpath_opts.check ()
+
 let experiments =
   [
     ("fig4", "Figure 4: mean end-to-end delay vs offered load", Fig4.run);
@@ -22,6 +36,7 @@ let experiments =
     ("campaign", "Randomized fault campaign within and beyond the t budget", Campaign.run);
     ("analysis", "Offline trace analysis of a representative faulty run", Analysis.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
+    ("hotpath", "Hot-path benchmarks with tracked JSON baseline", run_hotpath);
   ]
 
 let () =
@@ -29,6 +44,20 @@ let () =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
   let args = List.filter (fun a -> a <> "--") args in
+  let rec strip_opts = function
+    | [] -> []
+    | "--quick" :: rest ->
+        hotpath_opts.quick <- true;
+        strip_opts rest
+    | "--out" :: path :: rest ->
+        hotpath_opts.out <- Some path;
+        strip_opts rest
+    | "--check" :: path :: rest ->
+        hotpath_opts.check <- Some path;
+        strip_opts rest
+    | arg :: rest -> arg :: strip_opts rest
+  in
+  let args = strip_opts args in
   match args with
   | [] ->
       (* Full sweep: fig6 a) and b) share the expensive faulty runs. *)
@@ -44,7 +73,8 @@ let () =
       Service.run ();
       Campaign.run ();
       Analysis.run ();
-      Micro.run ()
+      Micro.run ();
+      run_hotpath ()
   | names ->
       List.iter
         (fun name ->

@@ -95,19 +95,34 @@ let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  (* Wall-clock and GC minor words per run: allocation regressions on the
+     hot paths surface here alongside time (see docs/PERF.md). *)
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let estimate stats instance =
+    let table = Analyze.all ols instance stats in
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ v ] -> acc := (name, v) :: !acc
+        | Some _ | None -> ())
+      table;
+    !acc
   in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      let stats = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ time_ns ] ->
-              Format.printf "  %-36s %12.0f ns/run@." name time_ns
-          | Some _ | None -> Format.printf "  %-36s (no estimate)@." name)
-        stats)
+      let times = estimate results Instance.monotonic_clock in
+      let words = estimate results Instance.minor_allocated in
+      List.iter
+        (fun (name, time_ns) ->
+          match List.assoc_opt name words with
+          | Some mw ->
+              Format.printf "  %-36s %12.0f ns/run %12.0f mw/run@." name
+                time_ns mw
+          | None -> Format.printf "  %-36s %12.0f ns/run@." name time_ns)
+        times)
     benchmarks

@@ -1,59 +1,168 @@
-module Int_map = Map.Make (Int)
+(* Per-origin storage is a dense circular buffer (ring) indexed by sequence
+   number rather than a balanced map: the protocol stores each origin's
+   messages in strictly increasing seq order and purges prefixes, so the live
+   seqs of one origin always form a narrow window [base, base+span).  A slot
+   inside the window can still be a hole — [force_skip_to] jumps and the
+   test-suite's sparse stores leave gaps — hence slots are optional and a
+   per-ring [count] tracks actual occupancy.  All hot operations ([store],
+   [mem], [find], [max_seq]) are O(1); [purge_upto] and [range] are O(slots
+   touched).
 
-type 'a t = { entries : 'a Causal_msg.t Int_map.t array; mutable total : int }
+   Ring invariants:
+   - capacity is a power of two (masking instead of mod);
+   - every slot outside the window is [Empty];
+   - when [span > 0] the top slot (seq [base+span-1]) is always [Stored],
+     so [max_seq] needs no scan.  Only [purge_upto] removes entries and it
+     eats from the bottom. *)
+
+type 'a slot = Empty | Stored of 'a Causal_msg.t
+
+type 'a ring = {
+  mutable buf : 'a slot array;
+  mutable head : int;  (* physical index of seq [base] *)
+  mutable base : int;  (* lowest seq covered by the window *)
+  mutable span : int;  (* seqs covered: [base, base + span) *)
+  mutable count : int; (* [Stored] slots within the window *)
+}
+
+type 'a t = { rings : 'a ring array; mutable total : int }
 
 let create ~n =
   if n <= 0 then invalid_arg "History.create: n must be positive";
-  { entries = Array.make n Int_map.empty; total = 0 }
+  {
+    rings =
+      Array.init n (fun _ ->
+          { buf = [||]; head = 0; base = 0; span = 0; count = 0 });
+    total = 0;
+  }
 
-let index mid = Net.Node_id.to_int (Mid.origin mid)
+let ring t origin = t.rings.(Net.Node_id.to_int origin)
 
-let mem t mid = Int_map.mem (Mid.seq mid) t.entries.(index mid)
+let phys r i = (r.head + i) land (Array.length r.buf - 1)
+
+let get r seq =
+  if r.span = 0 || seq < r.base || seq >= r.base + r.span then Empty
+  else r.buf.(phys r (seq - r.base))
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+(* Initial ring capacity.  Kept small: a member holds one ring per origin
+   and the steady-state window is a handful of messages (history is purged
+   every full-group decision), so at n = 128 the difference between 4 and 16
+   slots is ~200 kw of promoted heap per simulated cluster. *)
+let initial_cap = 4
+
+(* Re-house the window in a fresh buffer of at least [needed] slots, leaving
+   [offset] empty slots below the current base (for downward extension). *)
+let rehouse r ~needed ~offset =
+  let ncap = next_pow2 needed (max initial_cap (2 * Array.length r.buf)) in
+  let nbuf = Array.make ncap Empty in
+  for i = 0 to r.span - 1 do
+    nbuf.(offset + i) <- r.buf.(phys r i)
+  done;
+  r.buf <- nbuf;
+  r.head <- 0
 
 let store t msg =
   let mid = msg.Causal_msg.mid in
-  if not (mem t mid) then begin
-    let i = index mid in
-    t.entries.(i) <- Int_map.add (Mid.seq mid) msg t.entries.(i);
-    t.total <- t.total + 1
+  let r = ring t (Mid.origin mid) in
+  let seq = Mid.seq mid in
+  if r.span = 0 then begin
+    if Array.length r.buf = 0 then r.buf <- Array.make initial_cap Empty;
+    r.head <- 0;
+    r.base <- seq;
+    r.span <- 1
   end
+  else if seq >= r.base + r.span then begin
+    let needed = seq - r.base + 1 in
+    if needed > Array.length r.buf then rehouse r ~needed ~offset:0;
+    r.span <- needed
+  end
+  else if seq < r.base then begin
+    (* Below the window: only reachable by storing under an already-purged
+       or not-yet-started prefix (exercised by tests, not the protocol). *)
+    let delta = r.base - seq in
+    let needed = r.span + delta in
+    if needed > Array.length r.buf then rehouse r ~needed ~offset:delta
+    else begin
+      let cap = Array.length r.buf in
+      r.head <- (r.head + cap - delta) land (cap - 1)
+    end;
+    r.base <- seq;
+    r.span <- needed
+  end;
+  let i = phys r (seq - r.base) in
+  match r.buf.(i) with
+  | Stored _ -> () (* idempotent: keep the first copy *)
+  | Empty ->
+      r.buf.(i) <- Stored msg;
+      r.count <- r.count + 1;
+      t.total <- t.total + 1
 
-let find t mid = Int_map.find_opt (Mid.seq mid) t.entries.(index mid)
+let mem t mid =
+  match get (ring t (Mid.origin mid)) (Mid.seq mid) with
+  | Empty -> false
+  | Stored _ -> true
+
+let find t mid =
+  match get (ring t (Mid.origin mid)) (Mid.seq mid) with
+  | Empty -> None
+  | Stored msg -> Some msg
 
 let range t ~origin ~lo ~hi =
-  let entry = t.entries.(Net.Node_id.to_int origin) in
-  let rec collect seq acc =
-    if seq < lo then acc
-    else
-      let acc =
-        match Int_map.find_opt seq entry with
-        | Some msg -> msg :: acc
-        | None -> acc
-      in
-      collect (seq - 1) acc
-  in
-  collect hi []
+  let r = ring t origin in
+  if r.span = 0 then []
+  else begin
+    let lo = max lo r.base and hi = min hi (r.base + r.span - 1) in
+    let rec collect seq acc =
+      if seq < lo then acc
+      else
+        let acc =
+          match r.buf.(phys r (seq - r.base)) with
+          | Stored msg -> msg :: acc
+          | Empty -> acc
+        in
+        collect (seq - 1) acc
+    in
+    collect hi []
+  end
 
 let purge_upto t ~origin ~seq =
-  let i = Net.Node_id.to_int origin in
-  let below, at, above = Int_map.split seq t.entries.(i) in
-  let keep = match at with None -> above | Some _ -> above in
-  let removed = Int_map.cardinal below + if at = None then 0 else 1 in
-  t.entries.(i) <- keep;
-  t.total <- t.total - removed;
-  removed
+  let r = ring t origin in
+  if r.span = 0 || seq < r.base then 0
+  else begin
+    let k = min (seq - r.base + 1) r.span in
+    let removed = ref 0 in
+    for i = 0 to k - 1 do
+      let p = phys r i in
+      (match r.buf.(p) with Stored _ -> incr removed | Empty -> ());
+      r.buf.(p) <- Empty
+    done;
+    r.head <- phys r k;
+    r.base <- r.base + k;
+    r.span <- r.span - k;
+    if r.span = 0 then r.head <- 0;
+    r.count <- r.count - !removed;
+    t.total <- t.total - !removed;
+    !removed
+  end
 
 let length t = t.total
 
-let entry_length t origin =
-  Int_map.cardinal t.entries.(Net.Node_id.to_int origin)
+let entry_length t origin = (ring t origin).count
 
 let max_seq t ~origin =
-  match Int_map.max_binding_opt t.entries.(Net.Node_id.to_int origin) with
-  | None -> 0
-  | Some (seq, _) -> seq
+  let r = ring t origin in
+  if r.span = 0 then 0 else r.base + r.span - 1
 
 let fold t ~init ~f =
   Array.fold_left
-    (fun acc entry -> Int_map.fold (fun _ msg acc -> f acc msg) entry acc)
-    init t.entries
+    (fun acc r ->
+      let acc = ref acc in
+      for i = 0 to r.span - 1 do
+        match r.buf.(phys r i) with
+        | Stored msg -> acc := f !acc msg
+        | Empty -> ()
+      done;
+      !acc)
+    init t.rings

@@ -1,76 +1,361 @@
-type 'a t = { n : int; mutable messages : 'a Causal_msg.t Mid.Map.t }
+(* Dependency-indexed waiting list.
+
+   The pre-PR structure was a single [Mid.Map] rescanned to fixpoint:
+   [take_processable] was O(W) per pop and [discard_from] an O(W^2)
+   set-membership fixpoint.  This version stores messages in per-origin
+   dense rings and indexes them by what blocks them, so the hot paths touch
+   only the messages they affect:
+
+   - Per origin, waiting messages live in a circular buffer keyed by
+     contiguous seq (window [base, base+span), holes allowed), the same
+     layout as [History]: membership, insert and removal are O(1), and the
+     window is compressed at the front so the per-origin oldest mid — the
+     [waiting_i] field of every Request — reads off the window base.
+   - Each waiting entry records its unresolved blockers ([pending]): the
+     chain predecessor [(origin, seq-1)] if unprocessed, plus each
+     unprocessed explicit dependency.  A reverse index ([dependents]) maps a
+     blocking mid to the entries it gates.
+   - [seen] caches the last [Delivery] vector this list has observed.  On
+     [take_processable] the list syncs against the live vector: every newly
+     processed mid resolves its dependents in O(1) each, and entries whose
+     pending set empties join [ready].
+   - [ready] is exactly the set of processable entries.  An entry is ready
+     iff its seq is [seen(origin)+1] and its deps are processed, so [ready]
+     holds at most one mid per origin (<= n elements); popping its minimum
+     reproduces the old scan's first-processable-in-mid-order choice
+     bit-for-bit, at O(log n) worst case.
+   - [discard_from] walks the dependency graph forward from the roots:
+     per-origin tail sweeps cover the implicit chain and [dep_index]
+     (explicit dep -> dependers, kept regardless of processed state) covers
+     listed dependencies.  O(victims + edges) instead of a fixpoint.
+
+   Entries whose chain position the group skipped past (decided orphan
+   destruction) are never processable; they simply never enter [ready], but
+   remain visible to [oldest]/[length]/[to_list] exactly like before.
+   Index entries for removed messages are reclaimed lazily: every traversal
+   re-checks liveness against the rings.
+
+   Mids handed to [add] must have all origins (message and deps) in [0, n);
+   the rest of the stack guarantees this. *)
+
+type 'a entry = { msg : 'a Causal_msg.t; mutable pending : Mid.t list }
+
+type 'a ring = {
+  mutable buf : 'a entry option array;
+  mutable head : int;  (* physical index of seq [base] *)
+  mutable base : int;  (* lowest seq covered by the window *)
+  mutable span : int;  (* seqs covered: [base, base + span) *)
+  mutable count : int; (* occupied slots within the window *)
+}
+
+type 'a t = {
+  n : int;
+  mutable size : int;
+  rings : 'a ring option array;
+      (* lazily created: an origin that never blocks costs one word *)
+  mutable ready : Mid.Set.t;
+  seen : int array;
+  dependents : (Mid.t, Mid.t list ref) Hashtbl.t;
+  dep_index : (Mid.t, Mid.t list ref) Hashtbl.t;
+}
 
 let create ~n =
   if n <= 0 then invalid_arg "Waiting_list.create: n must be positive";
-  { n; messages = Mid.Map.empty }
+  {
+    n;
+    size = 0;
+    rings = Array.make n None;
+    ready = Mid.Set.empty;
+    seen = Array.make n 0;
+    (* Small initial tables: a member allocates one waiting list per group
+       member it simulates, and most lists never see a blocked message. *)
+    dependents = Hashtbl.create 8;
+    dep_index = Hashtbl.create 8;
+  }
+
+(* -- per-origin rings ---------------------------------------------------- *)
+
+let ring_of t o =
+  match t.rings.(o) with
+  | Some r -> r
+  | None ->
+      let r = { buf = [||]; head = 0; base = 0; span = 0; count = 0 } in
+      t.rings.(o) <- Some r;
+      r
+
+let phys r i = (r.head + i) land (Array.length r.buf - 1)
+
+let slot r seq =
+  if r.span = 0 || seq < r.base || seq >= r.base + r.span then None
+  else r.buf.(phys r (seq - r.base))
+
+let find_entry t mid =
+  match t.rings.(Net.Node_id.to_int (Mid.origin mid)) with
+  | None -> None
+  | Some r -> slot r (Mid.seq mid)
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+(* Re-house the window in a fresh buffer of at least [needed] slots, leaving
+   [offset] empty slots below the current base (for downward extension). *)
+let rehouse r ~needed ~offset =
+  let ncap = next_pow2 needed 16 in
+  let nbuf = Array.make ncap None in
+  for i = 0 to r.span - 1 do
+    nbuf.(offset + i) <- r.buf.(phys r i)
+  done;
+  r.buf <- nbuf;
+  r.head <- 0
+
+(* Make seq part of the window and store the entry there.  The caller has
+   already checked the mid is not present, so the slot is a hole. *)
+let ring_put r seq entry =
+  if r.span = 0 then begin
+    if Array.length r.buf = 0 then r.buf <- Array.make 16 None;
+    r.head <- 0;
+    r.base <- seq;
+    r.span <- 1
+  end
+  else if seq >= r.base + r.span then begin
+    let needed = seq - r.base + 1 in
+    if needed > Array.length r.buf then rehouse r ~needed ~offset:0;
+    r.span <- needed
+  end
+  else if seq < r.base then begin
+    let delta = r.base - seq in
+    let needed = r.span + delta in
+    if needed > Array.length r.buf then rehouse r ~needed ~offset:delta
+    else begin
+      let cap = Array.length r.buf in
+      r.head <- (r.head + cap - delta) land (cap - 1)
+    end;
+    r.base <- seq;
+    r.span <- needed
+  end;
+  r.buf.(phys r (seq - r.base)) <- Some entry;
+  r.count <- r.count + 1
+
+(* Remove seq from the window, keeping the front compressed: when [count >
+   0] the base slot is always occupied.  The hole-skipping scan amortizes to
+   O(1) — each slot position is stepped over at most once per window pass. *)
+let ring_remove r seq =
+  r.buf.(phys r (seq - r.base)) <- None;
+  r.count <- r.count - 1;
+  if r.count = 0 then begin
+    r.head <- 0;
+    r.span <- 0
+  end
+  else if seq = r.base then begin
+    let i = ref 1 in
+    while Option.is_none r.buf.(phys r !i) do
+      incr i
+    done;
+    r.head <- phys r !i;
+    r.base <- r.base + !i;
+    r.span <- r.span - !i
+  end
+
+(* -- public structure ---------------------------------------------------- *)
+
+let register index key mid =
+  match Hashtbl.find_opt index key with
+  | Some l -> l := mid :: !l
+  | None -> Hashtbl.add index key (ref [ mid ])
 
 let add t msg =
   let mid = msg.Causal_msg.mid in
-  if not (Mid.Map.mem mid t.messages) then
-    t.messages <- Mid.Map.add mid msg t.messages
+  match find_entry t mid with
+  | Some _ -> () (* idempotent *)
+  | None ->
+      let o = Net.Node_id.to_int (Mid.origin mid) in
+      let s = Mid.seq mid in
+      let pending = ref [] in
+      if s - 1 > t.seen.(o) then
+        pending := Mid.make ~origin:(Mid.origin mid) ~seq:(s - 1) :: !pending;
+      List.iter
+        (fun dep ->
+          if Mid.seq dep > t.seen.(Net.Node_id.to_int (Mid.origin dep)) then
+            pending := dep :: !pending)
+        msg.Causal_msg.deps;
+      let entry = { msg; pending = !pending } in
+      ring_put (ring_of t o) s entry;
+      t.size <- t.size + 1;
+      List.iter (fun b -> register t.dependents b mid) entry.pending;
+      List.iter (fun dep -> register t.dep_index dep mid) msg.Causal_msg.deps;
+      (* Ready iff nothing blocks it and its chain position is still ahead
+         of what this list has seen processed. *)
+      if entry.pending = [] && s > t.seen.(o) then
+        t.ready <- Mid.Set.add mid t.ready
 
-let mem t mid = Mid.Map.mem mid t.messages
+let mem t mid = Option.is_some (find_entry t mid)
 
-let remove t mid = t.messages <- Mid.Map.remove mid t.messages
+let remove t mid =
+  match find_entry t mid with
+  | None -> ()
+  | Some _ ->
+      ring_remove (ring_of t (Net.Node_id.to_int (Mid.origin mid))) (Mid.seq mid);
+      t.size <- t.size - 1;
+      t.ready <- Mid.Set.remove mid t.ready
 
-let length t = Mid.Map.cardinal t.messages
+let length t = t.size
 
-let is_empty t = Mid.Map.is_empty t.messages
+let is_empty t = t.size = 0
 
 let oldest t ~origin =
-  (* Mids sort by (origin, seq), so the first binding whose origin is at or
-     after [origin] belongs to [origin] iff origin has waiting messages.
-     Comparing on the origin component alone keeps this correct whatever
-     sequence number a message carries — the old probe Mid.make ~seq:1
-     baked the numbering base into the lookup. *)
-  let from_origin mid = Net.Node_id.compare (Mid.origin mid) origin >= 0 in
-  match Mid.Map.find_first_opt from_origin t.messages with
-  | Some (mid, _) when Net.Node_id.equal (Mid.origin mid) origin -> Some mid
-  | Some _ | None -> None
+  let o = Net.Node_id.to_int origin in
+  if o >= t.n then None
+  else
+    match t.rings.(o) with
+    | None -> None
+    | Some r -> (
+        if r.count = 0 then None
+        else
+          match r.buf.(r.head) with
+          | Some entry -> Some entry.msg.Causal_msg.mid
+          | None -> assert false (* front compression: base slot occupied *))
 
 let oldest_vector t =
   Array.init t.n (fun i -> oldest t ~origin:(Net.Node_id.of_int i))
 
+(* -- readiness sync ------------------------------------------------------ *)
+
+(* A newly processed mid no longer blocks anything: wake its dependents. *)
+let resolve t blocker =
+  match Hashtbl.find_opt t.dependents blocker with
+  | None -> ()
+  | Some dependers ->
+      Hashtbl.remove t.dependents blocker;
+      List.iter
+        (fun mid ->
+          match find_entry t mid with
+          | None -> () (* removed since registration *)
+          | Some entry ->
+              if List.exists (Mid.equal blocker) entry.pending then begin
+                entry.pending <-
+                  List.filter
+                    (fun b -> not (Mid.equal b blocker))
+                    entry.pending;
+                if entry.pending = [] then begin
+                  let eo = Net.Node_id.to_int (Mid.origin mid) in
+                  (* Unblocked, but only processable if the group did not
+                     skip past its chain position meanwhile. *)
+                  if Mid.seq mid > t.seen.(eo) then
+                    t.ready <- Mid.Set.add mid t.ready
+                end
+              end)
+        !dependers
+
+(* Catch [seen] up with the live delivery vector.  Cost: O(n) plus O(1) per
+   newly processed mid — amortized constant per delivered message. *)
+let sync t delivery =
+  for o = 0 to t.n - 1 do
+    let origin = Net.Node_id.of_int o in
+    let last = Delivery.last_processed delivery origin in
+    let prev = t.seen.(o) in
+    if last > prev then begin
+      (* The one entry of this origin that could sit in [ready] has seq
+         [prev+1]; the group has now processed or skipped it elsewhere. *)
+      let cand = Mid.make ~origin ~seq:(prev + 1) in
+      t.ready <- Mid.Set.remove cand t.ready;
+      t.seen.(o) <- last;
+      for s = prev + 1 to last do
+        resolve t (Mid.make ~origin ~seq:s)
+      done
+    end
+  done
+
 let take_processable t delivery =
-  let found =
-    Mid.Map.to_seq t.messages
-    |> Seq.find (fun (_, msg) -> Delivery.processable delivery msg)
-  in
-  match found with
+  (* Empty-list fast path: the fault-free hot loop calls this once per
+     processed message, and an O(n) sync there would make every delivery
+     O(n) again.  Skipping the sync just lets [seen] lag, which is safe:
+     blockers computed against a stale vector are conservative and resolve
+     on the next non-empty sync. *)
+  if t.size = 0 then None
+  else begin
+    sync t delivery;
+    match Mid.Set.min_elt_opt t.ready with
   | None -> None
-  | Some (mid, msg) ->
-      remove t mid;
-      Some msg
+  | Some mid -> (
+      match find_entry t mid with
+      | None -> assert false (* ready entries are always live *)
+      | Some entry ->
+          remove t mid;
+          Some entry.msg)
+  end
+
+(* -- discard cascade ----------------------------------------------------- *)
 
 let discard_from t ~origin ~seq =
-  let root_victim mid =
-    Net.Node_id.equal (Mid.origin mid) origin && Mid.seq mid >= seq
+  let victims = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  (* Lowest seq from which each origin's waiting tail has been swept: sweeps
+     of overlapping tails (one per same-origin victim) stay linear. *)
+  let swept_from = Array.make t.n max_int in
+  let add_victim mid =
+    if mem t mid && not (Hashtbl.mem victims mid) then begin
+      Hashtbl.add victims mid ();
+      Queue.push mid queue
+    end
   in
-  (* Fixpoint: a waiting message is a victim if it is (origin, >= seq) or
-     depends on a victim, directly or through the implicit per-origin chain. *)
-  let victims = ref Mid.Set.empty in
-  Mid.Map.iter (fun mid _ -> if root_victim mid then victims := Mid.Set.add mid !victims) t.messages;
-  let depends_on_victim (msg : _ Causal_msg.t) =
-    root_victim msg.mid
-    || Mid.Set.exists (fun victim -> Causal_msg.depends_on msg victim) !victims
+  (* Every waiting message of [o] with seq >= [from] depends on a victim
+     through the implicit per-origin chain. *)
+  let sweep_tail o from =
+    if from < swept_from.(o) then begin
+      let upto = swept_from.(o) in
+      swept_from.(o) <- from;
+      match t.rings.(o) with
+      | None -> ()
+      | Some r ->
+          if r.span > 0 then begin
+            let lo = max from r.base in
+            let hi = min (upto - 1) (r.base + r.span - 1) in
+            for s = lo to hi do
+              match r.buf.(phys r (s - r.base)) with
+              | Some entry -> add_victim entry.msg.Causal_msg.mid
+              | None -> ()
+            done
+          end
+    end
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Mid.Map.iter
-      (fun mid msg ->
-        if (not (Mid.Set.mem mid !victims)) && depends_on_victim msg then begin
-          victims := Mid.Set.add mid !victims;
-          changed := true
-        end)
-      t.messages
+  sweep_tail (Net.Node_id.to_int origin) seq;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    sweep_tail (Net.Node_id.to_int (Mid.origin v)) (Mid.seq v + 1);
+    match Hashtbl.find_opt t.dep_index v with
+    | None -> ()
+    | Some dependers ->
+        (* Everything depending on a discarded message is itself discarded,
+           so this key can never gate a survivor: drop it outright.  Index
+           entries can be stale (a mid removed and later re-added under a
+           different dependency set leaves its old registrations behind), so
+           only a live entry that still lists [v] is a victim. *)
+        Hashtbl.remove t.dep_index v;
+        List.iter
+          (fun d ->
+            match find_entry t d with
+            | Some entry
+              when List.exists (Mid.equal v) entry.msg.Causal_msg.deps ->
+                add_victim d
+            | Some _ | None -> ())
+          !dependers
   done;
   let discarded =
-    Mid.Map.fold
-      (fun mid _ acc -> if Mid.Set.mem mid !victims then mid :: acc else acc)
-      t.messages []
+    Hashtbl.fold (fun mid () acc -> mid :: acc) victims []
+    |> List.sort Mid.compare
   in
   List.iter (remove t) discarded;
-  List.rev discarded
+  discarded
 
-let to_list t = Mid.Map.fold (fun _ msg acc -> msg :: acc) t.messages [] |> List.rev
+let to_list t =
+  List.concat
+    (List.init t.n (fun o ->
+         match t.rings.(o) with
+         | None -> []
+         | Some r ->
+             let acc = ref [] in
+             for i = r.span - 1 downto 0 do
+               match r.buf.(phys r i) with
+               | Some entry -> acc := entry.msg :: !acc
+               | None -> ()
+             done;
+             !acc))

@@ -1,0 +1,265 @@
+(* Tests for the optimized delivery hot path (dependency-indexed waiting
+   list, dense history rings):
+
+   - History purge regression tests, including purging at exactly the
+     highest stored seq (a case the pre-optimization code mishandled with a
+     dead match arm);
+   - the incrementally maintained per-origin oldest against brute-force
+     recomputation from [to_list];
+   - a randomized equivalence property driving [Waiting_list_reference]
+     (the old O(W)-scan implementation, kept as an executable spec) and the
+     production [Causal.Waiting_list] with identical operation sequences. *)
+
+let node n = Net.Node_id.of_int n
+let mid o s = Causal.Mid.make ~origin:(node o) ~seq:s
+
+let msg ?(deps = []) o s =
+  Causal.Causal_msg.make ~mid:(mid o s) ~deps ~payload_size:8 (o, s)
+
+let mid_testable = Alcotest.testable Causal.Mid.pp Causal.Mid.equal
+
+(* -- history purge regressions ------------------------------------------ *)
+
+let history_tests =
+  [
+    Alcotest.test_case "purge at exactly the highest stored seq" `Quick
+      (fun () ->
+        let h = Causal.History.create ~n:2 in
+        for s = 1 to 5 do
+          Causal.History.store h (msg 0 s)
+        done;
+        Alcotest.(check int) "removed all five" 5
+          (Causal.History.purge_upto h ~origin:(node 0) ~seq:5);
+        Alcotest.(check bool) "seq 5 gone" false
+          (Causal.History.mem h (mid 0 5));
+        Alcotest.(check int) "origin empty" 0
+          (Causal.History.entry_length h (node 0));
+        Alcotest.(check int) "history empty" 0 (Causal.History.length h));
+    Alcotest.test_case "purge at an interior seq keeps the suffix" `Quick
+      (fun () ->
+        let h = Causal.History.create ~n:2 in
+        for s = 1 to 5 do
+          Causal.History.store h (msg 0 s)
+        done;
+        Alcotest.(check int) "removed prefix" 3
+          (Causal.History.purge_upto h ~origin:(node 0) ~seq:3);
+        Alcotest.(check bool) "seq 3 gone" false
+          (Causal.History.mem h (mid 0 3));
+        Alcotest.(check bool) "seq 4 kept" true
+          (Causal.History.mem h (mid 0 4));
+        Alcotest.(check int) "max_seq unchanged" 5
+          (Causal.History.max_seq h ~origin:(node 0));
+        Alcotest.(check int) "two left" 2
+          (Causal.History.entry_length h (node 0)));
+    Alcotest.test_case "purge counts only stored slots in a sparse window"
+      `Quick (fun () ->
+        let h = Causal.History.create ~n:2 in
+        List.iter (fun s -> Causal.History.store h (msg 0 s)) [ 1; 4; 7 ];
+        Alcotest.(check int) "two of the first four seqs stored" 2
+          (Causal.History.purge_upto h ~origin:(node 0) ~seq:4);
+        Alcotest.(check bool) "seq 7 kept" true
+          (Causal.History.mem h (mid 0 7));
+        Alcotest.(check int) "one left" 1
+          (Causal.History.entry_length h (node 0)));
+    Alcotest.test_case "store after a full purge restarts the window" `Quick
+      (fun () ->
+        let h = Causal.History.create ~n:2 in
+        for s = 1 to 3 do
+          Causal.History.store h (msg 0 s)
+        done;
+        ignore (Causal.History.purge_upto h ~origin:(node 0) ~seq:3);
+        Causal.History.store h (msg 0 9);
+        Alcotest.(check bool) "seq 9 stored" true
+          (Causal.History.mem h (mid 0 9));
+        Alcotest.(check int) "max_seq follows" 9
+          (Causal.History.max_seq h ~origin:(node 0));
+        Alcotest.(check (list mid_testable)) "range sees only seq 9"
+          [ mid 0 9 ]
+          (List.map
+             (fun m -> m.Causal.Causal_msg.mid)
+             (Causal.History.range h ~origin:(node 0) ~lo:1 ~hi:20)));
+  ]
+
+(* -- incremental oldest vs brute force ---------------------------------- *)
+
+let brute_oldest_vector wl ~n =
+  let waiting = Causal.Waiting_list.to_list wl in
+  Array.init n (fun o ->
+      List.fold_left
+        (fun acc m ->
+          let mid = m.Causal.Causal_msg.mid in
+          if Net.Node_id.to_int (Causal.Mid.origin mid) <> o then acc
+          else
+            match acc with
+            | Some best when Causal.Mid.seq best <= Causal.Mid.seq mid -> acc
+            | Some _ | None -> Some mid)
+        None waiting)
+
+let check_oldest_matches_brute ~ctx wl ~n =
+  let fast = Causal.Waiting_list.oldest_vector wl in
+  let brute = brute_oldest_vector wl ~n in
+  for o = 0 to n - 1 do
+    Alcotest.(check (option mid_testable))
+      (Printf.sprintf "%s: oldest of origin %d" ctx o)
+      brute.(o) fast.(o)
+  done
+
+let oldest_tests =
+  [
+    Alcotest.test_case "incremental oldest matches brute force" `Quick
+      (fun () ->
+        let n = 4 in
+        let rng = Random.State.make [| 0x01de57 |] in
+        let wl = Causal.Waiting_list.create ~n in
+        let delivery = Causal.Delivery.create ~n in
+        for step = 1 to 400 do
+          let ctx = Printf.sprintf "step %d" step in
+          (match Random.State.int rng 100 with
+          | r when r < 55 ->
+              let o = Random.State.int rng n in
+              Causal.Waiting_list.add wl
+                (msg o (1 + Random.State.int rng 10))
+          | r when r < 70 ->
+              Causal.Waiting_list.remove wl
+                (mid (Random.State.int rng n) (1 + Random.State.int rng 10))
+          | r when r < 85 ->
+              ignore
+                (Causal.Waiting_list.discard_from wl
+                   ~origin:(node (Random.State.int rng n))
+                   ~seq:(1 + Random.State.int rng 10))
+          | _ -> (
+              match Causal.Waiting_list.take_processable wl delivery with
+              | Some m -> Causal.Delivery.mark delivery m.Causal.Causal_msg.mid
+              | None -> ()));
+          check_oldest_matches_brute ~ctx wl ~n
+        done);
+  ]
+
+(* -- randomized equivalence against the reference model ------------------ *)
+
+let equivalence_runs = 120
+let equivalence_ops = 60
+
+let run_equivalence seed =
+  let n = 4 in
+  let max_seq = 12 in
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let reference = Waiting_list_reference.create ~n in
+  let wl = Causal.Waiting_list.create ~n in
+  let delivery = Causal.Delivery.create ~n in
+  (* Alcotest prints this message on failure, so the failing seed is always
+     recoverable: rerun [run_equivalence seed] alone to shrink by hand. *)
+  let fail fmt =
+    Format.kasprintf
+      (fun detail ->
+        Alcotest.failf "equivalence mismatch (failing seed %d): %s" seed
+          detail)
+      fmt
+  in
+  let rand_origin () = Random.State.int rng n in
+  let rand_seq () = 1 + Random.State.int rng max_seq in
+  let rand_msg () =
+    let o = rand_origin () and s = rand_seq () in
+    let deps =
+      List.filter_map
+        (fun o' ->
+          if o' = o || Random.State.int rng 4 > 0 then None
+          else Some (mid o' (rand_seq ())))
+        (List.init n Fun.id)
+    in
+    msg ~deps o s
+  in
+  let mids_of l = List.map (fun m -> m.Causal.Causal_msg.mid) l in
+  let check_state () =
+    let la = Waiting_list_reference.length reference in
+    let lb = Causal.Waiting_list.length wl in
+    if la <> lb then fail "length %d (reference) vs %d" la lb;
+    let ta = mids_of (Waiting_list_reference.to_list reference) in
+    let tb = mids_of (Causal.Waiting_list.to_list wl) in
+    if not (List.equal Causal.Mid.equal ta tb) then
+      fail "to_list [%a] (reference) vs [%a]"
+        (Format.pp_print_list Causal.Mid.pp)
+        ta
+        (Format.pp_print_list Causal.Mid.pp)
+        tb;
+    let va = Waiting_list_reference.oldest_vector reference in
+    let vb = Causal.Waiting_list.oldest_vector wl in
+    for o = 0 to n - 1 do
+      if not (Option.equal Causal.Mid.equal va.(o) vb.(o)) then
+        fail "oldest_vector origin %d: %a (reference) vs %a" o
+          (Format.pp_print_option Causal.Mid.pp)
+          va.(o)
+          (Format.pp_print_option Causal.Mid.pp)
+          vb.(o)
+    done
+  in
+  for _op = 1 to equivalence_ops do
+    (match Random.State.int rng 100 with
+    | r when r < 40 ->
+        let m = rand_msg () in
+        Waiting_list_reference.add reference m;
+        Causal.Waiting_list.add wl m
+    | r when r < 50 ->
+        let victim = mid (rand_origin ()) (rand_seq ()) in
+        let ma = Waiting_list_reference.mem reference victim in
+        let mb = Causal.Waiting_list.mem wl victim in
+        if ma <> mb then fail "mem %a: %b (reference) vs %b" Causal.Mid.pp victim ma mb;
+        Waiting_list_reference.remove reference victim;
+        Causal.Waiting_list.remove wl victim
+    | r when r < 65 ->
+        let origin = node (rand_origin ()) and seq = rand_seq () in
+        let da = Waiting_list_reference.discard_from reference ~origin ~seq in
+        let db = Causal.Waiting_list.discard_from wl ~origin ~seq in
+        if not (List.equal Causal.Mid.equal da db) then
+          fail "discard_from (%a,%d): [%a] (reference) vs [%a]" Net.Node_id.pp
+            origin seq
+            (Format.pp_print_list Causal.Mid.pp)
+            da
+            (Format.pp_print_list Causal.Mid.pp)
+            db
+    | r when r < 90 ->
+        let rec drain () =
+          let a = Waiting_list_reference.take_processable reference delivery in
+          let b = Causal.Waiting_list.take_processable wl delivery in
+          match (a, b) with
+          | None, None -> ()
+          | Some ma, Some mb
+            when Causal.Mid.equal ma.Causal.Causal_msg.mid
+                   mb.Causal.Causal_msg.mid ->
+              Causal.Delivery.mark delivery ma.Causal.Causal_msg.mid;
+              drain ()
+          | a, b ->
+              let pp ppf = function
+                | None -> Format.pp_print_string ppf "None"
+                | Some m -> Causal.Mid.pp ppf m.Causal.Causal_msg.mid
+              in
+              fail "take_processable %a (reference) vs %a" pp a pp b
+        in
+        drain ()
+    | _ ->
+        (* Shared delivery state jumps ahead without processing, exercising
+           the optimized list's lazy resynchronization. *)
+        Causal.Delivery.force_skip_to delivery
+          ~origin:(node (rand_origin ()))
+          ~seq:(rand_seq ()));
+    check_state ()
+  done
+
+let equivalence_tests =
+  [
+    Alcotest.test_case
+      (Printf.sprintf "waiting list equals reference model (%d randomized runs)"
+         equivalence_runs)
+      `Quick
+      (fun () ->
+        for seed = 0 to equivalence_runs - 1 do
+          run_equivalence seed
+        done);
+  ]
+
+let suite =
+  [
+    ("hotpath.history", history_tests);
+    ("hotpath.oldest", oldest_tests);
+    ("hotpath.equivalence", equivalence_tests);
+  ]

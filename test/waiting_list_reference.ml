@@ -1,0 +1,86 @@
+(* Reference model for [Causal.Waiting_list]: the pre-optimization
+   implementation, kept verbatim as an executable specification.  It stores
+   everything in one [Mid.Map] and recomputes processability / discard
+   fixpoints by whole-list scans — O(W) per pop and O(W^2) per discard — so
+   it is slow but obviously correct.  [Suite_hotpath] drives it and the
+   dependency-indexed production implementation with identical operation
+   sequences and requires identical observable behaviour. *)
+
+open Causal
+
+type 'a t = { n : int; mutable messages : 'a Causal_msg.t Mid.Map.t }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Waiting_list.create: n must be positive";
+  { n; messages = Mid.Map.empty }
+
+let add t msg =
+  let mid = msg.Causal_msg.mid in
+  if not (Mid.Map.mem mid t.messages) then
+    t.messages <- Mid.Map.add mid msg t.messages
+
+let mem t mid = Mid.Map.mem mid t.messages
+
+let remove t mid = t.messages <- Mid.Map.remove mid t.messages
+
+let length t = Mid.Map.cardinal t.messages
+
+let is_empty t = Mid.Map.is_empty t.messages
+
+let oldest t ~origin =
+  (* Mids sort by (origin, seq), so the first binding whose origin is at or
+     after [origin] belongs to [origin] iff origin has waiting messages. *)
+  let from_origin mid = Net.Node_id.compare (Mid.origin mid) origin >= 0 in
+  match Mid.Map.find_first_opt from_origin t.messages with
+  | Some (mid, _) when Net.Node_id.equal (Mid.origin mid) origin -> Some mid
+  | Some _ | None -> None
+
+let oldest_vector t =
+  Array.init t.n (fun i -> oldest t ~origin:(Net.Node_id.of_int i))
+
+let take_processable t delivery =
+  let found =
+    Mid.Map.to_seq t.messages
+    |> Seq.find (fun (_, msg) -> Delivery.processable delivery msg)
+  in
+  match found with
+  | None -> None
+  | Some (mid, msg) ->
+      remove t mid;
+      Some msg
+
+let discard_from t ~origin ~seq =
+  let root_victim mid =
+    Net.Node_id.equal (Mid.origin mid) origin && Mid.seq mid >= seq
+  in
+  (* Fixpoint: a waiting message is a victim if it is (origin, >= seq) or
+     depends on a victim, directly or through the implicit per-origin chain. *)
+  let victims = ref Mid.Set.empty in
+  Mid.Map.iter
+    (fun mid _ -> if root_victim mid then victims := Mid.Set.add mid !victims)
+    t.messages;
+  let depends_on_victim (msg : _ Causal_msg.t) =
+    root_victim msg.mid
+    || Mid.Set.exists (fun victim -> Causal_msg.depends_on msg victim) !victims
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Mid.Map.iter
+      (fun mid msg ->
+        if (not (Mid.Set.mem mid !victims)) && depends_on_victim msg then begin
+          victims := Mid.Set.add mid !victims;
+          changed := true
+        end)
+      t.messages
+  done;
+  let discarded =
+    Mid.Map.fold
+      (fun mid _ acc -> if Mid.Set.mem mid !victims then mid :: acc else acc)
+      t.messages []
+  in
+  List.iter (remove t) discarded;
+  List.rev discarded
+
+let to_list t =
+  Mid.Map.fold (fun _ msg acc -> msg :: acc) t.messages [] |> List.rev
