@@ -1,0 +1,156 @@
+(* Campaign sweep throughput across worker counts, with a tracked JSON
+   baseline.
+
+     dune exec bench/main.exe -- campaign-throughput
+     dune exec bench/main.exe -- campaign-throughput --quick --out BENCH_campaign_throughput.json
+     dune exec bench/main.exe -- campaign-throughput --quick --check BENCH_campaign_throughput.json
+
+   One fixed-seed standard sweep (the shape the CI smoke campaign runs) is
+   executed at -j 1/2/4/8 and timed wall-clock; the figure of merit is
+   runs/sec, the quantity that bounds how much of a failure envelope a
+   wall-clock hour can probe.  Every parallel sweep's JSON report is
+   byte-compared against the -j 1 report, so the bench doubles as an
+   end-to-end determinism check.
+
+   `--check FILE` fails (exit 1) if any job count's runs/sec regressed more
+   than 10x against the committed baseline — loose enough to survive a slow
+   CI machine or a single-core container (where all job counts collapse to
+   ~1x speedup), tight enough to catch the parallel path serializing on an
+   accidental lock or a return to quadratic per-run cost. *)
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+type sample = { jobs : int; runs_per_sec : float; speedup : float }
+
+let sweep ~budget ~jobs =
+  Workload.Campaign.to_json
+    (Workload.Campaign.run ~jobs ~budget ~seed:1 ())
+
+let measure ~reps ~budget ~jobs =
+  let best = ref infinity in
+  let json = ref "" in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let j = sweep ~budget ~jobs in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    json := j
+  done;
+  (float_of_int budget /. Float.max !best 1e-9, !json)
+
+let run_all ~quick =
+  let budget = if quick then 30 else 200 in
+  let reps = if quick then 1 else 3 in
+  let reference = ref "" in
+  let samples =
+    List.map
+      (fun jobs ->
+        let runs_per_sec, json = measure ~reps ~budget ~jobs in
+        if jobs = 1 then reference := json
+        else if json <> !reference then
+          failwith
+            (Printf.sprintf
+               "campaign-throughput: -j %d report differs from -j 1" jobs);
+        { jobs; runs_per_sec; speedup = 0.0 })
+      job_counts
+  in
+  let base =
+    match samples with s :: _ -> s.runs_per_sec | [] -> assert false
+  in
+  (budget, List.map (fun s -> { s with speedup = s.runs_per_sec /. base }) samples)
+
+(* -- JSON export and baseline check ------------------------------------- *)
+
+let json_of_samples ~quick ~budget samples =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "{\"schema\":\"urcgc.bench.campaign_throughput/1\",\"quick\":%b,\"budget\":%d,\"parallel_backend\":%b,\"detected_cores\":%d,\"results\":["
+    quick budget Sim.Pool.available
+    (Sim.Pool.default_jobs ());
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"jobs\":%d,\"runs_per_sec\":%.1f,\"speedup\":%.2f}" s.jobs
+        s.runs_per_sec s.speedup)
+    samples;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let baseline_runs_per_sec path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  match Sim.Json.parse raw with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok json -> (
+      match Sim.Json.member "results" json with
+      | Some (Sim.Json.List rows) ->
+          let entry row =
+            match
+              (Sim.Json.member "jobs" row, Sim.Json.member "runs_per_sec" row)
+            with
+            | Some (Sim.Json.Int jobs), Some (Sim.Json.Float rps) ->
+                Some (jobs, rps)
+            | Some (Sim.Json.Int jobs), Some (Sim.Json.Int rps) ->
+                Some (jobs, float_of_int rps)
+            | _ -> None
+          in
+          Ok (List.filter_map entry rows)
+      | Some _ | None -> Error (Printf.sprintf "%s: no results array" path))
+
+let check_against ~path ~baseline samples =
+  match baseline with
+  | Error e ->
+      Format.printf "  baseline check: %s@." e;
+      false
+  | Ok baseline ->
+      let tolerance = 10.0 in
+      let failures =
+        List.filter_map
+          (fun s ->
+            match List.assoc_opt s.jobs baseline with
+            | None -> None
+            | Some base when s.runs_per_sec *. tolerance >= base -> None
+            | Some base -> Some (s.jobs, base, s.runs_per_sec))
+          samples
+      in
+      List.iter
+        (fun (jobs, base, got) ->
+          Format.printf
+            "  REGRESSION -j %d: %.1f runs/sec vs baseline %.1f (> %.0fx \
+             slower)@."
+            jobs got base tolerance)
+        failures;
+      if failures = [] then
+        Format.printf "  baseline check: all job counts within %.0fx of %s@."
+          tolerance path;
+      failures = []
+
+let run ?(quick = false) ?out ?check () =
+  Format.printf "@.== Campaign throughput (parallel sweep scheduler) ==@.@.";
+  Format.printf "  parallel backend: %s; detected cores: %d@."
+    (if Sim.Pool.available then "domains" else "sequential fallback")
+    (Sim.Pool.default_jobs ());
+  if quick then Format.printf "  (quick mode: budget 30, 1 repetition)@.";
+  let baseline = Option.map (fun path -> (path, baseline_runs_per_sec path)) check in
+  let budget, samples = run_all ~quick in
+  Format.printf "  %-8s %14s %10s@." "jobs" "runs/sec" "speedup";
+  List.iter
+    (fun s ->
+      Format.printf "  -j %-5d %14.1f %9.2fx@." s.jobs s.runs_per_sec s.speedup)
+    samples;
+  Format.printf "  (all -j reports byte-identical to -j 1; budget %d, seed 1)@."
+    budget;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (json_of_samples ~quick ~budget samples);
+      close_out oc;
+      Format.printf "  wrote %s@." path);
+  match baseline with
+  | None -> ()
+  | Some (path, baseline) ->
+      if not (check_against ~path ~baseline samples) then exit 1

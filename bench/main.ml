@@ -6,19 +6,24 @@
      dune exec bench/main.exe -- fig5 table1 fig6a fig6b micro
 *)
 
-(* Options consumed by the `hotpath` experiment (ignored by the others):
-   --quick, --out FILE, --check FILE. *)
-type hotpath_opts = {
+(* Options consumed by the baseline-tracked experiments `hotpath` and
+   `campaign-throughput` (ignored by the others): --quick, --out FILE,
+   --check FILE. *)
+type baseline_opts = {
   mutable quick : bool;
   mutable out : string option;
   mutable check : string option;
 }
 
-let hotpath_opts = { quick = false; out = None; check = None }
+let baseline_opts = { quick = false; out = None; check = None }
 
 let run_hotpath () =
-  Hotpath.run ~quick:hotpath_opts.quick ?out:hotpath_opts.out
-    ?check:hotpath_opts.check ()
+  Hotpath.run ~quick:baseline_opts.quick ?out:baseline_opts.out
+    ?check:baseline_opts.check ()
+
+let run_campaign_throughput () =
+  Campaign_throughput.run ~quick:baseline_opts.quick ?out:baseline_opts.out
+    ?check:baseline_opts.check ()
 
 let experiments =
   [
@@ -37,6 +42,9 @@ let experiments =
     ("analysis", "Offline trace analysis of a representative faulty run", Analysis.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
     ("hotpath", "Hot-path benchmarks with tracked JSON baseline", run_hotpath);
+    ( "campaign-throughput",
+      "Campaign runs/sec at -j 1/2/4/8 with tracked JSON baseline",
+      run_campaign_throughput );
   ]
 
 let () =
@@ -47,13 +55,13 @@ let () =
   let rec strip_opts = function
     | [] -> []
     | "--quick" :: rest ->
-        hotpath_opts.quick <- true;
+        baseline_opts.quick <- true;
         strip_opts rest
     | "--out" :: path :: rest ->
-        hotpath_opts.out <- Some path;
+        baseline_opts.out <- Some path;
         strip_opts rest
     | "--check" :: path :: rest ->
-        hotpath_opts.check <- Some path;
+        baseline_opts.check <- Some path;
         strip_opts rest
     | arg :: rest -> arg :: strip_opts rest
   in
@@ -74,7 +82,8 @@ let () =
       Campaign.run ();
       Analysis.run ();
       Micro.run ();
-      run_hotpath ()
+      run_hotpath ();
+      run_campaign_throughput ()
   | names ->
       List.iter
         (fun name ->

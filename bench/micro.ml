@@ -87,8 +87,48 @@ let bench_waiting =
          in
          drain ()))
 
+(* One synthetic 38-byte frame per iteration, 64 frames per run: the
+   fresh-writer variant allocates a new Buffer.t per frame (what the wire
+   codecs did before Writer.clear existed); the reused variant encodes
+   into one writer cleared between frames.  The minor-words column is the
+   point of the comparison. *)
+let encode_frame w i =
+  Net.Bytebuf.Writer.u8 w (i land 0xFF);
+  Net.Bytebuf.Writer.u16 w (i * 7 land 0xFFFF);
+  Net.Bytebuf.Writer.u24 w (i * 131 land 0xFFFFFF);
+  Net.Bytebuf.Writer.u32 w (i * 65537);
+  Net.Bytebuf.Writer.bytes w (Bytes.make 24 'x');
+  Net.Bytebuf.Writer.bitmap w (Array.make 16 (i land 1 = 0));
+  Net.Bytebuf.Writer.contents w
+
+let bench_writer_fresh =
+  Test.make ~name:"codec frames, fresh writer (64 frames)"
+    (Staged.stage (fun () ->
+         for i = 1 to 64 do
+           let w = Net.Bytebuf.Writer.create () in
+           ignore (encode_frame w i)
+         done))
+
+let bench_writer_reused =
+  Test.make ~name:"codec frames, reused writer (64 frames)"
+    (Staged.stage
+       (let w = Net.Bytebuf.Writer.create () in
+        fun () ->
+          for i = 1 to 64 do
+            Net.Bytebuf.Writer.clear w;
+            ignore (encode_frame w i)
+          done))
+
 let benchmarks =
-  [ bench_history; bench_decision; bench_vclock; bench_subrun; bench_waiting ]
+  [
+    bench_history;
+    bench_decision;
+    bench_vclock;
+    bench_subrun;
+    bench_waiting;
+    bench_writer_fresh;
+    bench_writer_reused;
+  ]
 
 let run () =
   Format.printf "@.== Micro-benchmarks (Bechamel) ==@.@.";

@@ -433,6 +433,19 @@ let out_arg =
            human summary then goes to standard output instead of stderr)."
         ~docv:"FILE")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker count for the parallel campaign phases (run execution and \
+           speculative shrink candidates).  $(docv) = 0 means the detected \
+           core count.  The JSON report is byte-identical at any job count; \
+           on runtimes without domains (OCaml 4.x) execution is sequential \
+           regardless."
+        ~docv:"JOBS")
+
 let campaign_analyze_arg =
   Arg.(
     value
@@ -444,11 +457,11 @@ let campaign_analyze_arg =
            agreement bit in the JSON output.")
 
 let run_campaign budget seed over_budget no_shrink with_metrics with_analysis
-    out =
+    jobs out =
   cli_guard @@ fun () ->
   let campaign =
     Workload.Campaign.run ~over_budget ~shrink_failures:(not no_shrink)
-      ~with_metrics ~with_analysis ~budget ~seed ()
+      ~with_metrics ~with_analysis ~jobs ~budget ~seed ()
   in
   let json = Workload.Campaign.to_json campaign in
   (match out with
@@ -479,7 +492,8 @@ let campaign_cmd =
   let term =
     Term.(
       const run_campaign $ budget_arg $ seed_arg $ over_budget_arg
-      $ no_shrink_arg $ metrics_arg $ campaign_analyze_arg $ out_arg)
+      $ no_shrink_arg $ metrics_arg $ campaign_analyze_arg $ jobs_arg
+      $ out_arg)
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -43,6 +43,10 @@ module Writer = struct
     done
 
   let contents t = Buffer.to_bytes t
+
+  let clear = Buffer.clear
+
+  let reset = Buffer.reset
 end
 
 module Reader = struct

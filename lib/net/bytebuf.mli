@@ -20,6 +20,17 @@ module Writer : sig
   (** Packs 8 flags per byte, LSB first, padded to a whole byte. *)
 
   val contents : t -> bytes
+
+  val clear : t -> unit
+  (** Empty the writer, keeping its grown internal storage: codec-heavy
+      loops can encode one frame per iteration into a single writer
+      without re-allocating the buffer each time.  A clear-then-encode
+      produces exactly the bytes a fresh writer would. *)
+
+  val reset : t -> unit
+  (** Like {!clear}, but also returns the internal storage to the
+      writer's creation capacity — use when an unusually large frame has
+      ballooned a long-lived writer. *)
 end
 
 module Reader : sig

@@ -1,6 +1,11 @@
-type 'a entry = { time : Ticks.t; seq : int; value : 'a }
+(* Slots below [size] are always [Entry]; [Empty] marks unused capacity, so
+   clearing or popping never leaves a stale entry reachable through the
+   backing array (a cleared heap must not keep its old values alive). *)
+type 'a slot =
+  | Empty
+  | Entry of { time : Ticks.t; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = { mutable data : 'a slot array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -8,23 +13,24 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let entry_lt a b =
-  let c = Ticks.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
+let slot_lt a b =
+  match (a, b) with
+  | Entry a, Entry b ->
+      let c = Ticks.compare a.time b.time in
+      if c <> 0 then c < 0 else a.seq < b.seq
+  | (Empty | Entry _), _ -> assert false
 
 let grow t =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* The dummy cell is only reachable below [size], so it is never read. *)
-  let dummy = t.data.(0) in
-  let data = Array.make new_cap dummy in
+  let data = Array.make new_cap Empty in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt t.data.(i) t.data.(parent) then begin
+    if slot_lt t.data.(i) t.data.(parent) then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -35,8 +41,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && entry_lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && entry_lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && slot_lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && slot_lt t.data.(r) t.data.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -45,31 +51,32 @@ let rec sift_down t i =
   end
 
 let push t ~time ~seq value =
-  let entry = { time; seq; value } in
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
   if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- entry;
+  t.data.(t.size) <- Entry { time; seq; value };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let peek t =
   if t.size = 0 then None
   else
-    let e = t.data.(0) in
-    Some (e.time, e.seq, e.value)
+    match t.data.(0) with
+    | Entry e -> Some (e.time, e.seq, e.value)
+    | Empty -> assert false
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let e = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (e.time, e.seq, e.value)
-  end
+  else
+    match t.data.(0) with
+    | Empty -> assert false
+    | Entry e ->
+        t.size <- t.size - 1;
+        t.data.(0) <- t.data.(t.size);
+        t.data.(t.size) <- Empty;
+        if t.size > 0 then sift_down t 0;
+        Some (e.time, e.seq, e.value)
 
 let clear t =
-  t.size <- 0;
-  t.data <- [||]
+  (* Keep the grown capacity — an engine that drains and restarts would
+     otherwise pay the re-growth doublings again — but drop every entry. *)
+  Array.fill t.data 0 t.size Empty;
+  t.size <- 0

@@ -21,3 +21,7 @@ val pop : 'a t -> (Ticks.t * int * 'a) option
 (** Removes and returns the smallest element. *)
 
 val clear : 'a t -> unit
+(** Empties the heap, releasing every stored entry (nothing previously
+    pushed stays reachable through the heap) while keeping the grown
+    backing capacity, so push-after-clear does not re-pay the growth
+    doublings. *)

@@ -1,0 +1,21 @@
+let available = Pool_backend.available
+
+let default_jobs () = Pool_backend.default_jobs ()
+
+let map ~jobs f tasks =
+  if tasks < 0 then invalid_arg "Pool.map: negative task count";
+  if jobs < 0 then invalid_arg "Pool.map: negative job count";
+  let jobs = if jobs = 0 then default_jobs () else jobs in
+  let jobs = min jobs (max tasks 1) in
+  if tasks = 0 then [||]
+  else if jobs <= 1 then begin
+    (* In-order on the calling thread: no domain spawn cost, and the
+       evaluation order matches what a plain loop would do. *)
+    let first = f 0 in
+    let results = Array.make tasks first in
+    for i = 1 to tasks - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+  else Pool_backend.map ~jobs f tasks

@@ -1,0 +1,36 @@
+(** Fork-join work scheduler for embarrassingly parallel index spaces.
+
+    [map ~jobs f tasks] computes [[| f 0; ...; f (tasks - 1) |]].  The
+    tasks are distributed over [jobs] workers and the results are merged
+    back {e in index order}, so the output is independent of scheduling:
+    callers that are pure functions of their index (the campaign harness
+    derives every run from [Rng.derive ~seed index]) get byte-identical
+    results at any job count.
+
+    On OCaml 5 the workers are domains ([Pool_backend] is selected by a
+    build rule on the compiler version); on 4.14 the same interface runs
+    the tasks sequentially, so code written against [Pool] builds and
+    behaves identically on both — only the wall-clock differs. *)
+
+val available : bool
+(** Whether the parallel (domains) backend is compiled in.  [false] means
+    {!map} always runs sequentially regardless of [jobs]. *)
+
+val default_jobs : unit -> int
+(** The detected core count ([Domain.recommended_domain_count ()]), or [1]
+    on the sequential backend. *)
+
+val map : jobs:int -> (int -> 'a) -> int -> 'a array
+(** [map ~jobs f tasks] evaluates [f] at each index in [[0, tasks)] with up
+    to [jobs] workers and returns the results in index order.
+
+    [jobs = 0] means {!default_jobs}; [jobs] larger than [tasks] is clamped;
+    [jobs = 1] (or the sequential backend) evaluates [f 0], [f 1], ... in
+    order on the calling thread.  [f] must be safe to call concurrently
+    from several domains — it must not touch shared mutable state.
+
+    If any [f i] raises, one of the raised exceptions is re-raised here
+    after all workers have stopped (workers abandon unstarted tasks once a
+    failure is recorded).
+
+    Raises [Invalid_argument] when [tasks < 0] or [jobs < 0]. *)

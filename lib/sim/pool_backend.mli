@@ -1,0 +1,12 @@
+(** Backend behind [Sim.Pool], selected at build time by a dune rule on the
+    compiler version: [pool_backend_domains.ml] on OCaml >= 5.0,
+    [pool_backend_seq.ml] otherwise.  Both satisfy this interface; [Pool]
+    adds argument validation and job-count normalization on top. *)
+
+val available : bool
+
+val default_jobs : unit -> int
+
+val map : jobs:int -> (int -> 'a) -> int -> 'a array
+(** Precondition (enforced by [Pool.map]): [tasks > 0] and
+    [2 <= jobs <= tasks]. *)

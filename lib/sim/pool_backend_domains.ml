@@ -1,0 +1,39 @@
+(* Domains backend (OCaml >= 5.0): a fixed crew of [jobs] workers — the
+   calling domain plus [jobs - 1] spawned ones — pulls task indexes from a
+   shared atomic counter and writes results into a slot array.  Reads of
+   the slots happen only after every worker has been joined, so the
+   publication is ordered by the join; no per-slot synchronization is
+   needed because each index is claimed by exactly one worker. *)
+
+let available = true
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f tasks =
+  let results = Array.make tasks None in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < tasks && Atomic.get failure = None then begin
+        (match f i with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            (* First failure wins; the rest of the crew drains out at the
+               next counter check instead of starting new tasks. *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let crew = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join crew;
+  match Atomic.get failure with
+  | Some e -> raise e
+  | None ->
+      Array.map
+        (function Some v -> v | None -> assert false (* every index claimed *))
+        results

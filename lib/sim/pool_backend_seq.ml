@@ -1,0 +1,15 @@
+(* Sequential stand-in for runtimes without domains (OCaml 4.14): the same
+   interface as the domains backend, evaluated in index order on the
+   calling thread.  Exceptions propagate directly from the failing task. *)
+
+let available = false
+
+let default_jobs () = 1
+
+let map ~jobs:_ f tasks =
+  let first = f 0 in
+  let results = Array.make tasks first in
+  for i = 1 to tasks - 1 do
+    results.(i) <- f i
+  done;
+  results

@@ -254,7 +254,7 @@ let candidates spec =
       (if spec.rate > 0.35 then [ { spec with rate = 0.3 } ] else []);
     ]
 
-let shrink ?(max_steps = 150) ~seed spec outcome =
+let shrink ?(max_steps = 150) ?(jobs = 1) ~seed spec outcome =
   let steps = ref 0 in
   (* A reduction is kept only if the run still fails in the same class: a
      safety (checker) failure must not degenerate into a mere liveness
@@ -264,27 +264,64 @@ let shrink ?(max_steps = 150) ~seed spec outcome =
     List.exists (fun v -> not (is_liveness v)) outcome.violations
   in
   let still_fails candidate =
-    if !steps >= max_steps then None
-    else begin
-      incr steps;
-      let outcome, report = execute ~seed candidate in
-      let safety_failed = not (Checker.ok report.Runner.verdict) in
-      if outcome.ok || (required_safety && not safety_failed) then None
-      else Some outcome
-    end
+    let outcome, report = execute ~seed candidate in
+    let safety_failed = not (Checker.ok report.Runner.verdict) in
+    if outcome.ok || (required_safety && not safety_failed) then None
+    else Some outcome
   in
   (* Greedy descent to a fixpoint: take the first candidate that still
      fails, restart from it; stop when no reduction preserves the failure
-     (or the step budget runs out). *)
+     (or the step budget runs out).
+
+     The parallel path evaluates the whole round's candidate list
+     speculatively, then applies the {e sequential} acceptance rule: the
+     first-accepting candidate in candidate order wins, and the recorded
+     step count is what the sequential scan would have consumed (the
+     accepted index + 1, or the full round on a fixpoint).  Candidates a
+     sequential shrinker would never have reached — those past the first
+     acceptance, or past the step budget — are wasted work, never extra
+     recorded steps, so the shrunk spec, violations, and step count are
+     identical at any job count. *)
   let rec descend spec violations =
-    let rec first = function
-      | [] -> (spec, violations)
-      | candidate :: rest -> (
-          match still_fails candidate with
-          | Some outcome -> descend candidate outcome.violations
-          | None -> first rest)
-    in
-    if !steps >= max_steps then (spec, violations) else first (candidates spec)
+    if !steps >= max_steps then (spec, violations)
+    else begin
+      let cands = Array.of_list (candidates spec) in
+      let round = min (Array.length cands) (max_steps - !steps) in
+      if round = 0 then (spec, violations)
+      else if jobs <= 1 then begin
+        (* Sequential fast path: stop evaluating at the first acceptance. *)
+        let rec first i =
+          if i >= round then begin
+            steps := !steps + round;
+            (spec, violations)
+          end
+          else
+            match still_fails cands.(i) with
+            | Some outcome ->
+                steps := !steps + i + 1;
+                descend cands.(i) outcome.violations
+            | None -> first (i + 1)
+        in
+        first 0
+      end
+      else begin
+        let results = Sim.Pool.map ~jobs (fun i -> still_fails cands.(i)) round in
+        let rec first i =
+          if i >= round then None
+          else
+            match results.(i) with
+            | Some outcome -> Some (i, outcome)
+            | None -> first (i + 1)
+        in
+        match first 0 with
+        | Some (i, outcome) ->
+            steps := !steps + i + 1;
+            descend cands.(i) outcome.violations
+        | None ->
+            steps := !steps + round;
+            (spec, violations)
+      end
+    end
   in
   let shrunk_spec, shrunk_violations = descend spec outcome.violations in
   { shrunk_spec; shrunk_violations; shrink_steps = !steps }
@@ -333,14 +370,36 @@ let repro_command ~seed spec =
   Buffer.contents buf
 
 let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
-    ?(with_analysis = false) ~budget ~seed () =
+    ?(with_analysis = false) ?(jobs = 1) ~budget ~seed () =
   if budget < 0 then invalid_arg "Campaign.run: negative budget";
+  if jobs < 0 then invalid_arg "Campaign.run: negative job count";
+  (* Phase 1 — sequential spec generation.  The single [generate] stream is
+     part of the determinism contract: spec [i] must be the [i]-th draw from
+     the campaign seed's splitmix64 stream no matter how many workers later
+     execute the runs, so this pass never moves into the parallel region. *)
   let rng = Sim.Rng.create ~seed in
-  let runs =
-    List.init budget (fun index ->
-        let spec = generate ~over_budget rng in
+  let specs =
+    if budget = 0 then [||]
+    else begin
+      let first = generate ~over_budget rng in
+      let specs = Array.make budget first in
+      for index = 1 to budget - 1 do
+        specs.(index) <- generate ~over_budget rng
+      done;
+      specs
+    end
+  in
+  (* Phase 2 — parallel execution.  Each run is a pure function of its
+     derived seed and owns every piece of mutable state it touches (engine,
+     RNG, fault process, tracer, metrics registry — all created inside the
+     worker), so results merged back in index order are byte-identical to a
+     sequential sweep at any job count. *)
+  let executed =
+    Sim.Pool.map ~jobs
+      (fun index ->
+        let spec = specs.(index) in
         let run_seed = Sim.Rng.derive ~seed index in
-        (* A fresh registry per run, read out before the next run starts —
+        (* A fresh registry per run, read out before the record is built —
            shrinking runs reuse [execute] without it, so the recorded
            metrics describe exactly this run. *)
         let metrics =
@@ -353,10 +412,6 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
             (fun t -> Sim.Analysis.analyze ~n:spec.n (Sim.Trace.records t))
             tracer
         in
-        let shrunk =
-          if outcome.ok || not shrink_failures then None
-          else Some (shrink ~seed:run_seed spec outcome)
-        in
         {
           index;
           seed = run_seed;
@@ -366,7 +421,7 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
           delivered_remote = report.Runner.delivered_remote;
           subruns = report.Runner.subruns;
           mean_delay_rtd = Runner.mean_delay_rtd report;
-          shrunk;
+          shrunk = None;
           metrics =
             (if with_metrics then Some (Sim.Metrics.to_json metrics) else None);
           analysis = Option.map Sim.Analysis.report_json analysis;
@@ -376,6 +431,16 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
                 Analyzer.agrees report.Runner.verdict a.Sim.Analysis.verdict)
               analysis;
         })
+      budget
+  in
+  (* Phase 3 — shrink failures in index order.  Kept outside the parallel
+     region so worker domains never nest; the parallelism inside a shrink
+     is the speculative per-round candidate evaluation in {!shrink}. *)
+  let runs =
+    Array.to_list executed
+    |> List.map (fun r ->
+           if r.outcome.ok || not shrink_failures then r
+           else { r with shrunk = Some (shrink ~jobs ~seed:r.seed r.spec r.outcome) })
   in
   let failed = List.length (List.filter (fun r -> not r.outcome.ok) runs) in
   { campaign_seed = seed; budget; over_budget; runs; failed }

@@ -75,14 +75,21 @@ type shrunk = {
   shrink_steps : int;  (** simulation runs spent shrinking *)
 }
 
-val shrink : ?max_steps:int -> seed:int -> spec -> outcome -> shrunk
+val shrink : ?max_steps:int -> ?jobs:int -> seed:int -> spec -> outcome -> shrunk
 (** Greedy fixpoint minimization of a failing spec under the same seed:
     bisect the message cap, shed processes, trim the crash schedule, zero or
     halve the omission/loss probabilities, reduce the burst size, tighten
     the time cap — keeping each reduction only if the run still fails in
     the same class (a safety failure never degenerates into a liveness-only
     one, e.g. by truncating a healthy run at a tightened time cap).
-    [max_steps] bounds the number of simulation runs (default 150). *)
+    [max_steps] bounds the number of {e recorded} simulation runs
+    (default 150).
+
+    With [jobs > 1] each round's candidate list is evaluated speculatively
+    in parallel on {!Sim.Pool} and the {e first-accepting candidate in
+    candidate order} wins, charged the steps a sequential scan would have
+    consumed — so the shrunk spec, its violations, and [shrink_steps] are
+    identical at any job count; only wall-clock time changes. *)
 
 type run = {
   index : int;
@@ -120,13 +127,21 @@ val generate : ?over_budget:bool -> Sim.Rng.t -> spec
 
 val run :
   ?over_budget:bool -> ?shrink_failures:bool -> ?with_metrics:bool ->
-  ?with_analysis:bool -> budget:int -> seed:int -> unit -> t
+  ?with_analysis:bool -> ?jobs:int -> budget:int -> seed:int -> unit -> t
 (** Run a whole campaign.  [shrink_failures] (default true) minimizes every
     failing run.  [with_metrics] (default false) records a fresh
     {!Sim.Metrics} registry per run and embeds its JSON in the report.
     [with_analysis] (default false) traces every run, feeds it through the
     offline [Sim.Analysis] oracle, and embeds the analysis report plus the
-    checker-vs-oracle agreement bit. *)
+    checker-vs-oracle agreement bit.
+
+    [jobs] (default 1) is the {!Sim.Pool} worker count for the parallel
+    phases; [0] means the detected core count.  Spec generation stays
+    sequential (the draw order of the campaign stream is part of the
+    determinism contract), the runs execute in parallel and merge back in
+    index order, and failures shrink with speculative parallel candidate
+    evaluation — so {!to_json} output is byte-identical at any [jobs],
+    including the [with_metrics]/[with_analysis] variants. *)
 
 val repro_command : seed:int -> spec -> string
 (** The [urcgc_sim replay ...] command line reproducing this exact run. *)

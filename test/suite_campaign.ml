@@ -188,6 +188,52 @@ let campaign_tests =
           (with_metrics
           = Workload.Campaign.to_json
               (Workload.Campaign.run ~with_metrics:true ~budget:2 ~seed:3 ())));
+    Alcotest.test_case
+      "metrics+analysis campaign at -j 4 is byte-identical to -j 1" `Slow
+      (fun () ->
+        (* The per-run Sim.Metrics registry and Sim.Trace sink are created
+           inside the parallel region; this pins that no shared mutable
+           state leaks between workers on either Pool backend. *)
+        let json jobs =
+          Workload.Campaign.to_json
+            (Workload.Campaign.run ~with_metrics:true ~with_analysis:true
+               ~jobs ~budget:4 ~seed:3 ())
+        in
+        let sequential = json 1 in
+        Alcotest.(check string) "-j 2" sequential (json 2);
+        Alcotest.(check string) "-j 4" sequential (json 4);
+        Alcotest.(check string) "-j 0 (detected cores)" sequential (json 0));
+    Alcotest.test_case "over-budget shrinking at -j 3 matches -j 1" `Slow
+      (fun () ->
+        (* Speculative parallel candidate evaluation must reach the exact
+           spec, violations, and step count of the sequential shrinker. *)
+        let campaign jobs =
+          Workload.Campaign.to_json
+            (Workload.Campaign.run ~over_budget:true ~jobs ~budget:2 ~seed:42
+               ())
+        in
+        Alcotest.(check string) "same reports" (campaign 1) (campaign 3);
+        let failing =
+          List.find
+            (fun r -> not r.Workload.Campaign.outcome.Workload.Campaign.ok)
+            (Workload.Campaign.run ~over_budget:true ~shrink_failures:false
+               ~budget:2 ~seed:42 ())
+              .Workload.Campaign.runs
+        in
+        let shrunk jobs =
+          Workload.Campaign.shrink ~jobs ~seed:failing.Workload.Campaign.seed
+            failing.Workload.Campaign.spec failing.Workload.Campaign.outcome
+        in
+        let a = shrunk 1 and b = shrunk 4 in
+        Alcotest.(check bool)
+          "same shrunk spec" true
+          (a.Workload.Campaign.shrunk_spec = b.Workload.Campaign.shrunk_spec);
+        Alcotest.(check int)
+          "same recorded steps" a.Workload.Campaign.shrink_steps
+          b.Workload.Campaign.shrink_steps;
+        Alcotest.(check (list string))
+          "same violations" a.Workload.Campaign.shrunk_violations
+          b.Workload.Campaign.shrunk_violations);
     Alcotest.test_case "validate_spec rejects malformed CLI input" `Quick
       (fun () ->
         let base =

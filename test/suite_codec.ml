@@ -213,6 +213,43 @@ let bytebuf_tests =
             | Ok flags' -> Alcotest.(check (array bool)) "flags" flags flags'
             | Error e -> Alcotest.fail e)
           [ 1; 7; 8; 9; 15; 40 ]);
+    (let encode w i =
+       (* A representative mixed-width frame, parameterized so successive
+          encodes into a reused writer produce different bytes. *)
+       Net.Bytebuf.Writer.u8 w (i land 0xFF);
+       Net.Bytebuf.Writer.u16 w (i * 7);
+       Net.Bytebuf.Writer.u24 w (i * 131);
+       Net.Bytebuf.Writer.u32 w (i * 65537);
+       Net.Bytebuf.Writer.bytes w (Bytes.make 5 (Char.chr (97 + (i mod 26))));
+       Net.Bytebuf.Writer.bitmap w (Array.init 11 (fun b -> (b + i) mod 2 = 0));
+       Net.Bytebuf.Writer.contents w
+     in
+     Alcotest.test_case "clear/reset-then-encode matches a fresh writer"
+       `Quick (fun () ->
+         let reused = Net.Bytebuf.Writer.create ~capacity:8 () in
+         for i = 0 to 40 do
+           (* Alternate both reuse flavours across iterations. *)
+           if i mod 2 = 0 then Net.Bytebuf.Writer.clear reused
+           else Net.Bytebuf.Writer.reset reused;
+           let fresh = Net.Bytebuf.Writer.create () in
+           let expected = encode fresh i in
+           let got = encode reused i in
+           Alcotest.(check bool)
+             (Printf.sprintf "frame %d identical" i)
+             true
+             (Bytes.equal expected got)
+         done));
+    Alcotest.test_case "clear and reset empty the writer" `Quick (fun () ->
+        let w = Net.Bytebuf.Writer.create () in
+        Net.Bytebuf.Writer.u32 w 0xDEADBEEF;
+        Alcotest.(check int) "filled" 4 (Net.Bytebuf.Writer.length w);
+        Net.Bytebuf.Writer.clear w;
+        Alcotest.(check int) "cleared" 0 (Net.Bytebuf.Writer.length w);
+        Alcotest.(check int) "empty contents" 0
+          (Bytes.length (Net.Bytebuf.Writer.contents w));
+        Net.Bytebuf.Writer.u8 w 7;
+        Net.Bytebuf.Writer.reset w;
+        Alcotest.(check int) "reset" 0 (Net.Bytebuf.Writer.length w));
   ]
 
 (* Property: arbitrary generated bodies have encoded length = body_size and

@@ -81,6 +81,61 @@ let heap_tests =
         Alcotest.(check int) "99" 99 (Sim.Heap.length h);
         Sim.Heap.clear h;
         Alcotest.(check int) "0" 0 (Sim.Heap.length h));
+    Alcotest.test_case "push after clear keeps working in order" `Quick
+      (fun () ->
+        let h = Sim.Heap.create () in
+        for i = 1 to 50 do
+          Sim.Heap.push h ~time:(Sim.Ticks.of_int i) ~seq:i i
+        done;
+        Sim.Heap.clear h;
+        Alcotest.(check bool) "empty after clear" true (Sim.Heap.is_empty h);
+        Alcotest.(check (option unit)) "no peek" None
+          (Option.map (fun _ -> ()) (Sim.Heap.peek h));
+        List.iteri
+          (fun i time ->
+            Sim.Heap.push h ~time:(Sim.Ticks.of_int time) ~seq:i time)
+          [ 9; 3; 7; 1; 5 ];
+        let rec drain acc =
+          match Sim.Heap.pop h with
+          | None -> List.rev acc
+          | Some (_, _, v) -> drain (v :: acc)
+        in
+        Alcotest.(check (list int)) "sorted after clear" [ 1; 3; 5; 7; 9 ]
+          (drain []));
+    Alcotest.test_case "clear and pop release stored entries" `Quick (fun () ->
+        (* The backing array survives clear (capacity is kept), but the
+           entries must not: anything pushed is unreachable afterwards. *)
+        let h = Sim.Heap.create () in
+        let count = 12 in
+        let weak = Weak.create (2 * count) in
+        for i = 0 to count - 1 do
+          let v = Bytes.make 32 (Char.chr (65 + (i mod 26))) in
+          Weak.set weak i (Some v);
+          Sim.Heap.push h ~time:(Sim.Ticks.of_int i) ~seq:i v
+        done;
+        Sim.Heap.clear h;
+        Gc.full_major ();
+        for i = 0 to count - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "cleared entry %d released" i)
+            false (Weak.check weak i)
+        done;
+        (* Same for pop: a drained heap keeps no reference to its values. *)
+        for i = 0 to count - 1 do
+          let v = Bytes.make 32 (Char.chr (97 + (i mod 26))) in
+          Weak.set weak (count + i) (Some v);
+          Sim.Heap.push h ~time:(Sim.Ticks.of_int i) ~seq:i v
+        done;
+        while not (Sim.Heap.is_empty h) do
+          ignore (Sim.Heap.pop h)
+        done;
+        Gc.full_major ();
+        for i = 0 to count - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "popped entry %d released" i)
+            false
+            (Weak.check weak (count + i))
+        done);
   ]
 
 let heap_property =
