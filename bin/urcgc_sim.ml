@@ -618,6 +618,220 @@ let replay_cmd =
           campaign report emits) and print its full report and verdict.")
     term
 
+(* ---- explore: bounded schedule exploration ---------------------------- *)
+
+let explore_n_arg =
+  Arg.(
+    value & opt int 3 & info [ "n"; "group-size" ] ~doc:"Group cardinality.")
+
+let explore_k_arg =
+  Arg.(
+    value & opt int 2 & info [ "K"; "retries" ] ~doc:"Crash-detection retries K.")
+
+let explore_messages_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "messages" ]
+        ~doc:
+          "Message program size: message $(i,j) is submitted by node $(i,j) \
+           mod n at subrun $(i,j) / n.  Defaults to n (one per node in \
+           subrun 0); must fit the window (at most n * window)."
+        ~docv:"M")
+
+let window_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "window" ]
+        ~doc:"Subruns with explored nondeterminism." ~docv:"SUBRUNS")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon" ]
+        ~doc:
+          "Total run length in subruns (defaults to window + 2K + 4)."
+        ~docv:"SUBRUNS")
+
+let crash_choices_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "crash-choices" ]
+        ~doc:
+          "Enumerate one optional fail-stop of any node before any round of \
+           the window.")
+
+let parse_fixed_crash s =
+  match String.split_on_char '@' s with
+  | [ node; round ] -> (
+      match (int_of_string_opt node, int_of_string_opt round) with
+      | Some node, Some round when node >= 0 && round >= 0 -> Ok (node, round)
+      | _ -> Error (`Msg "fixed crash must be <node>@<round>"))
+  | _ -> Error (`Msg "fixed crash must be <node>@<round>")
+
+let fixed_crash_conv =
+  Arg.conv
+    ( parse_fixed_crash,
+      fun ppf (node, round) -> Format.fprintf ppf "%d@%d" node round )
+
+let fixed_crash_arg =
+  Arg.(
+    value
+    & opt_all fixed_crash_conv []
+    & info [ "fixed-crash" ]
+        ~doc:
+          "Always-applied fail-stop before protocol round $(i,ROUND) \
+           (repeatable; two rounds per subrun)."
+        ~docv:"NODE@ROUND")
+
+let omission_choices_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "omission-choices" ]
+        ~doc:
+          "Enumerate losing one of the first $(docv) packet copies offered \
+           to the network (0 disables omission branching)."
+        ~docv:"COPIES")
+
+let explore_silenced_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "silenced" ]
+        ~doc:
+          "Adversarial send-omission burst size; the silenced set of each \
+           window subrun is an explored choice."
+        ~docv:"S")
+
+let max_schedules_arg =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "max-schedules" ]
+        ~doc:"Schedule budget before the search reports truncation.")
+
+let no_prune_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-prune" ]
+        ~doc:
+          "Disable commutativity pruning and enumerate the raw choice tree \
+           (brute force).")
+
+let no_oracle_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-oracle" ]
+        ~doc:
+          "Skip the per-schedule offline trace-oracle cross-check (faster).")
+
+let replay_schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay-schedule" ]
+        ~doc:
+          "Replay one schedule (comma-separated choice indices, or $(b,-) \
+           for the empty schedule) instead of exploring, printing the \
+           labelled decision log and the verdict."
+        ~docv:"CSV")
+
+let out_arg_explore =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Write the JSON report to $(docv)." ~docv:"FILE")
+
+let explore_config n k messages window horizon crash_choices fixed_crashes
+    omission_choices silenced no_oracle =
+  Workload.Explore.config ~k ?messages ~window_subruns:window
+    ?horizon_subruns:horizon ~crash_choices ~fixed_crashes ~omission_choices
+    ~silenced ~with_oracle:(not no_oracle) ~n ()
+
+let run_explore n k messages window horizon crash_choices fixed_crashes
+    omission_choices silenced max_schedules no_prune no_oracle replay_schedule
+    out =
+  cli_guard @@ fun () ->
+  let config =
+    explore_config n k messages window horizon crash_choices fixed_crashes
+      omission_choices silenced no_oracle
+  in
+  match replay_schedule with
+  | Some csv ->
+      let schedule =
+        if csv = "-" || csv = "" then []
+        else
+          String.split_on_char ',' csv
+          |> List.map (fun s ->
+                 match int_of_string_opt (String.trim s) with
+                 | Some i when i >= 0 -> i
+                 | _ ->
+                     invalid_arg
+                       "explore: --replay-schedule wants comma-separated \
+                        non-negative integers")
+      in
+      let result, steps = Workload.Explore.replay config ~schedule in
+      List.iteri
+        (fun i step ->
+          Format.printf "%3d: %d/%d %s@." i step.Sim.Explore.chosen
+            step.Sim.Explore.arity step.Sim.Explore.label)
+        steps;
+      Format.printf
+        "replay: %d rounds, %d generated, %d remote processing events@."
+        result.Workload.Explore.rounds result.Workload.Explore.generated
+        result.Workload.Explore.delivered_remote;
+      if result.Workload.Explore.violations = [] then begin
+        Format.printf "replay: ok@.";
+        0
+      end
+      else begin
+        List.iter
+          (fun v -> Format.printf "replay violation: %s@." v)
+          result.Workload.Explore.violations;
+        1
+      end
+  | None ->
+      let report =
+        Workload.Explore.explore ~prune:(not no_prune) ~max_schedules config
+      in
+      let json = Workload.Explore.to_json report in
+      (match out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "%a@." Workload.Explore.pp_report report
+      | None ->
+          print_string json;
+          print_newline ();
+          Format.eprintf "%a@." Workload.Explore.pp_report report);
+      if Workload.Explore.ok report then 0 else 1
+
+let explore_cmd =
+  let term =
+    Term.(
+      const run_explore $ explore_n_arg $ explore_k_arg $ explore_messages_arg
+      $ window_arg $ horizon_arg $ crash_choices_arg $ fixed_crash_arg
+      $ omission_choices_arg $ explore_silenced_arg $ max_schedules_arg
+      $ no_prune_arg $ no_oracle_arg $ replay_schedule_arg $ out_arg_explore)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate crash timing, omission placement, \
+          adversarial silencing and delivery interleavings of a small \
+          configuration, judging every schedule with the correctness \
+          checker and the trace oracle, and emit a deterministic JSON \
+          report with state-space counts and a replayable counterexample.")
+    term
+
 let main_cmd =
   Cmd.group
     (Cmd.info "urcgc_sim" ~version:"1.0.0"
@@ -631,6 +845,7 @@ let main_cmd =
       urgc_cmd;
       campaign_cmd;
       replay_cmd;
+      explore_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

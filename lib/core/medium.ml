@@ -55,6 +55,9 @@ let of_transport ~h transport =
     multicast = (fun ~src ~dsts body -> request ~src ~dsts body);
   }
 
+let make ~engine ~fault ~traffic ~attach ~send ~multicast =
+  { engine; fault; traffic; attach; send; multicast }
+
 let engine t = t.engine
 let fault t = t.fault
 let traffic t = t.traffic ()

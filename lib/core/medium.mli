@@ -24,6 +24,20 @@ val of_transport : h:h_policy -> 'a Wire.body Net.Transport.t -> 'a t
     [h = 1] (one acknowledgement) — they still benefit from transport
     retries. *)
 
+val make :
+  engine:Sim.Engine.t ->
+  fault:Net.Fault.t ->
+  traffic:(unit -> Net.Traffic.t) ->
+  attach:(Net.Node_id.t -> ('a Wire.body -> unit) -> unit) ->
+  send:(src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit) ->
+  multicast:
+    (src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit) ->
+  'a t
+(** A custom backend from its primitive operations — the hook the bounded
+    schedule explorer ([Workload.Explore]) uses to mount the protocol stack
+    on a controlled network whose delivery order is chosen by the search
+    driver rather than by sampled latency. *)
+
 val engine : 'a t -> Sim.Engine.t
 val fault : 'a t -> Net.Fault.t
 

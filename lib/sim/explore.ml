@@ -1,0 +1,171 @@
+(* Stateless depth-first search over the choice tree of a deterministic
+   harness.  Each execution replays the recorded choice prefix and extends
+   it; backtracking advances the deepest frame that still has untried
+   alternatives.  No state is saved between executions beyond the frame
+   stack, so the driver works for any harness that is a pure function of
+   its choice sequence. *)
+
+type frame = {
+  arity : int;
+  mutable chosen : int;
+  mutable untried : int list;  (* allowed alternatives not yet explored *)
+}
+
+type search_state = {
+  frames : frame array ref;  (* slots [0, filled) are meaningful *)
+  mutable live : int;  (* frames fixed by backtracking (replay prefix) *)
+  mutable filled : int;  (* frames written during this execution *)
+  prune : bool;
+  mutable pruned : int;
+}
+
+type replay_state = {
+  schedule : int array;
+  mutable steps : (int * int * string) list;  (* reversed *)
+}
+
+type mode = Search of search_state | Replay of replay_state
+
+module Ctx = struct
+  type t = { mutable depth : int; mode : mode }
+
+  let ensure_capacity frames needed =
+    let current = Array.length !frames in
+    if needed > current then begin
+      let grown =
+        Array.make
+          (max (needed * 2) 16)
+          { arity = 0; chosen = 0; untried = [] }
+      in
+      Array.blit !frames 0 grown 0 current;
+      frames := grown
+    end
+
+  let choose ?allowed ~arity ~label t =
+    if arity <= 0 then invalid_arg "Explore.choose: arity must be positive";
+    let depth = t.depth in
+    t.depth <- depth + 1;
+    match t.mode with
+    | Replay r ->
+        if depth >= Array.length r.schedule then
+          invalid_arg
+            (Printf.sprintf
+               "Explore.replay: schedule has %d choices but the harness asked \
+                for more"
+               (Array.length r.schedule));
+        let chosen = r.schedule.(depth) in
+        if chosen < 0 || chosen >= arity then
+          invalid_arg
+            (Printf.sprintf
+               "Explore.replay: choice %d at depth %d is outside arity %d"
+               chosen depth arity);
+        r.steps <- (chosen, arity, label ()) :: r.steps;
+        chosen
+    | Search s ->
+        if depth < s.live then begin
+          (* Replaying the backtracked prefix: the tree must be stable. *)
+          let frame = !(s.frames).(depth) in
+          if frame.arity <> arity then
+            invalid_arg
+              (Printf.sprintf
+                 "Explore: nondeterministic harness (arity %d became %d at \
+                  depth %d)"
+                 frame.arity arity depth);
+          s.filled <- s.filled + 1;
+          frame.chosen
+        end
+        else begin
+          (* Fresh choice point: enumerate the allowed alternatives. *)
+          let keep =
+            match allowed with
+            | Some keep when s.prune -> keep
+            | Some _ | None -> fun _ -> true
+          in
+          let alternatives = ref [] in
+          for i = arity - 1 downto 0 do
+            if keep i then alternatives := i :: !alternatives
+          done;
+          (* An empty allowed set would lose the branch entirely; exploring
+             alternative 0 over-approximates, which is sound. *)
+          let alternatives =
+            match !alternatives with [] -> [ 0 ] | l -> l
+          in
+          s.pruned <- s.pruned + (arity - List.length alternatives);
+          let chosen = List.hd alternatives in
+          ensure_capacity s.frames (depth + 1);
+          !(s.frames).(depth) <-
+            { arity; chosen; untried = List.tl alternatives };
+          s.filled <- s.filled + 1;
+          chosen
+        end
+end
+
+type stats = {
+  explored : int;
+  pruned : int;
+  total : int;
+  max_depth : int;
+  truncated : bool;
+}
+
+let explore ?(prune = true) ?(max_schedules = 1_000_000) f ~on_schedule =
+  if max_schedules <= 0 then
+    invalid_arg "Explore.explore: max_schedules must be positive";
+  let s =
+    { frames = ref [||]; live = 0; filled = 0; prune; pruned = 0 }
+  in
+  let mode = Search s in
+  let explored = ref 0 in
+  let max_depth = ref 0 in
+  let truncated = ref false in
+  let continue = ref true in
+  while !continue do
+    s.filled <- 0;
+    let ctx = { Ctx.depth = 0; mode } in
+    let result = f ctx in
+    let schedule =
+      List.init s.filled (fun i -> !(s.frames).(i).chosen)
+    in
+    incr explored;
+    if s.filled > !max_depth then max_depth := s.filled;
+    on_schedule ~schedule result;
+    (* Backtrack: drop exhausted frames, advance the deepest live one. *)
+    let live = ref s.filled in
+    while !live > 0 && !(s.frames).(!live - 1).untried = [] do
+      decr live
+    done;
+    if !live = 0 then continue := false
+    else begin
+      let frame = !(s.frames).(!live - 1) in
+      (match frame.untried with
+      | next :: rest ->
+          frame.chosen <- next;
+          frame.untried <- rest
+      | [] -> assert false);
+      s.live <- !live;
+      if !explored >= max_schedules then begin
+        truncated := true;
+        continue := false
+      end
+    end
+  done;
+  {
+    explored = !explored;
+    pruned = s.pruned;
+    total = !explored + s.pruned;
+    max_depth = !max_depth;
+    truncated = !truncated;
+  }
+
+type step = { chosen : int; arity : int; label : string }
+
+let replay f ~schedule =
+  let r = { schedule = Array.of_list schedule; steps = [] } in
+  let mode = Replay r in
+  let result = f { Ctx.depth = 0; mode } in
+  let steps =
+    List.rev_map
+      (fun (chosen, arity, label) -> { chosen; arity; label })
+      r.steps
+  in
+  (result, steps)

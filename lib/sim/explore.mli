@@ -1,0 +1,77 @@
+(** Bounded systematic schedule exploration.
+
+    A generic stateless-search driver: the system under test is a function
+    [f : Ctx.t -> 'a] that consults {!Ctx.choose} at every nondeterministic
+    decision point.  {!explore} re-executes [f] from scratch once per
+    schedule, replaying a recorded choice prefix and extending it
+    depth-first, until the whole (bounded) choice tree is exhausted or the
+    schedule budget runs out.  A schedule is the list of choices taken, so
+    any execution — in particular a violating one — replays exactly with
+    {!replay}.
+
+    Pruning: a choice point may declare some alternatives equivalent to
+    already-enumerated ones via the [allowed] predicate (DPOR-style
+    commutativity arguments live in the caller, e.g. "two deliveries to the
+    same node from causally unrelated senders need not be permuted").
+    Disallowed alternatives are counted as pruned {e branches} — each cut
+    branch stood for at least one schedule, so
+    [total = explored + pruned] is a lower bound on the unreduced schedule
+    count.  Pruning never drops a branch silently: the caller's [allowed]
+    is consulted only when [prune] is on, and a brute-force run of the same
+    tree ([prune:false]) must report the same violation set — the
+    soundness property the test suite enforces.
+
+    Everything here is deterministic: [f] must be a pure function of its
+    choice sequence (same choices, same behavior — the driver checks that
+    replayed choice points report a stable arity and raises
+    [Invalid_argument] otherwise).  No wall-clock, no RNG, no hash-order
+    dependence — byte-identical exploration on any compiler. *)
+
+module Ctx : sig
+  type t
+
+  val choose :
+    ?allowed:(int -> bool) -> arity:int -> label:(unit -> string) -> t -> int
+  (** Take one decision with [arity] alternatives; returns the index in
+      [\[0, arity)] this execution follows.  [allowed] (default: everything)
+      marks the alternatives worth exploring; alternatives it rejects are
+      pruned (never explored, counted in {!stats.pruned}) — it is the
+      caller's obligation that every rejected branch is equivalent to an
+      allowed one.  If [allowed] rejects everything, alternative [0] is
+      explored anyway (over-approximation is sound).  [label] renders the
+      decision for replay diagnostics; it is only forced under {!replay}.
+      Raises [Invalid_argument] on [arity <= 0] or when a replayed choice
+      point changes arity (the harness is not deterministic). *)
+end
+
+type stats = {
+  explored : int;  (** complete schedules executed *)
+  pruned : int;  (** branches cut by [allowed]; each held >= 1 schedule *)
+  total : int;  (** [explored + pruned]: lower bound on the raw space *)
+  max_depth : int;  (** longest choice sequence seen *)
+  truncated : bool;  (** the schedule budget ran out before exhaustion *)
+}
+
+val explore :
+  ?prune:bool ->
+  ?max_schedules:int ->
+  (Ctx.t -> 'a) ->
+  on_schedule:(schedule:int list -> 'a -> unit) ->
+  stats
+(** Enumerate the choice tree of [f] depth-first.  [on_schedule] fires once
+    per complete execution with the choice list (root first) and [f]'s
+    result.  [prune] (default [true]) enables the [allowed] predicates;
+    with [prune:false] every alternative of every choice point is explored
+    (brute force) and [pruned] is 0.  [max_schedules] (default 1_000_000)
+    bounds the number of executions; when it runs out, [truncated] is set
+    and the remaining subtree is abandoned.  Raises [Invalid_argument] on a
+    non-positive budget. *)
+
+type step = { chosen : int; arity : int; label : string }
+(** One replayed decision, with its rendered label. *)
+
+val replay : (Ctx.t -> 'a) -> schedule:int list -> 'a * step list
+(** Execute [f] once, following [schedule] exactly (ignoring [allowed] —
+    a pruned-away schedule still replays).  Returns [f]'s result and the
+    decision log.  Raises [Invalid_argument] if [f] asks for more choices
+    than the schedule holds, or a scheduled choice is outside its arity. *)

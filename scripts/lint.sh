@@ -6,7 +6,12 @@
 #
 #   - no trailing whitespace in sources, docs, or build files
 #   - no tab characters in OCaml sources (the repo indents with spaces)
-#   - every non-empty tracked text file ends with a newline
+#   - every non-empty tracked text file ends with a newline (committed JSON
+#     expectations included: the CI gates byte-compare freshly generated
+#     reports, which the tools always terminate with a newline)
+#   - every library module has an interface: a lib/**/*.ml without a
+#     matching .mli breaks the repo-wide convention (the build-time Pool
+#     backend variants share pool_backend.mli and are allowlisted)
 #
 # Exits non-zero listing each offending file.
 
@@ -16,8 +21,9 @@ cd "$(dirname "$0")/.."
 
 status=0
 
-sources=$(git ls-files '*.ml' '*.mli' '*.md' '*.opam' '*.sh' 'dune-project' \
-  '**/dune' 'dune' '.github/workflows/*.yml' | grep -v '^_build/' || true)
+sources=$(git ls-files '*.ml' '*.mli' '*.md' '*.opam' '*.sh' '*.json' \
+  'dune-project' '**/dune' 'dune' '.github/workflows/*.yml' \
+  '.github/actions/*/action.yml' | grep -v '^_build/' || true)
 
 for f in $sources; do
   [ -f "$f" ] || continue
@@ -37,6 +43,18 @@ for f in $sources; do
   esac
   if [ -s "$f" ] && [ "$(tail -c1 "$f" | wc -l)" -eq 0 ]; then
     echo "lint: missing final newline in $f" >&2
+    status=1
+  fi
+done
+
+for f in $(git ls-files 'lib/**/*.ml' | grep -v '^_build/' || true); do
+  case "$f" in
+  # Build-time backend selection: both variants are copied to
+  # pool_backend.ml and constrained by the shared pool_backend.mli.
+  lib/sim/pool_backend_domains.ml | lib/sim/pool_backend_seq.ml) continue ;;
+  esac
+  if [ ! -f "${f%.ml}.mli" ]; then
+    echo "lint: $f has no matching .mli interface" >&2
     status=1
   fi
 done
