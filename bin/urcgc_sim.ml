@@ -707,6 +707,24 @@ let explore_silenced_arg =
            window subrun is an explored choice."
         ~docv:"S")
 
+let silence_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("window", Workload.Explore.Window);
+             ("persistent", Workload.Explore.Persistent);
+           ])
+        Workload.Explore.Persistent
+    & info [ "silence-mode" ]
+        ~doc:
+          "What happens to the silenced set beyond the window: \
+           $(b,persistent) (default) keeps the last chosen set applying \
+           until the horizon, $(b,window) ends the burst with the window \
+           (the campaign-style per-subrun adversary, directly enumerable)."
+        ~docv:"MODE")
+
 let max_schedules_arg =
   Arg.(
     value
@@ -749,18 +767,18 @@ let out_arg_explore =
     & info [ "out" ] ~doc:"Write the JSON report to $(docv)." ~docv:"FILE")
 
 let explore_config n k messages window horizon crash_choices fixed_crashes
-    omission_choices silenced no_oracle =
+    omission_choices silenced silence_mode no_oracle =
   Workload.Explore.config ~k ?messages ~window_subruns:window
     ?horizon_subruns:horizon ~crash_choices ~fixed_crashes ~omission_choices
-    ~silenced ~with_oracle:(not no_oracle) ~n ()
+    ~silenced ~silence_mode ~with_oracle:(not no_oracle) ~n ()
 
 let run_explore n k messages window horizon crash_choices fixed_crashes
-    omission_choices silenced max_schedules no_prune no_oracle replay_schedule
-    out =
+    omission_choices silenced silence_mode max_schedules no_prune no_oracle
+    replay_schedule out =
   cli_guard @@ fun () ->
   let config =
     explore_config n k messages window horizon crash_choices fixed_crashes
-      omission_choices silenced no_oracle
+      omission_choices silenced silence_mode no_oracle
   in
   match replay_schedule with
   | Some csv ->
@@ -786,6 +804,10 @@ let run_explore n k messages window horizon crash_choices fixed_crashes
         "replay: %d rounds, %d generated, %d remote processing events@."
         result.Workload.Explore.rounds result.Workload.Explore.generated
         result.Workload.Explore.delivered_remote;
+      List.iter
+        (fun (node, reason) ->
+          Format.printf "replay: p%d left the group (%s)@." node reason)
+        result.Workload.Explore.departures;
       if result.Workload.Explore.violations = [] then begin
         Format.printf "replay: ok@.";
         0
@@ -819,8 +841,9 @@ let explore_cmd =
     Term.(
       const run_explore $ explore_n_arg $ explore_k_arg $ explore_messages_arg
       $ window_arg $ horizon_arg $ crash_choices_arg $ fixed_crash_arg
-      $ omission_choices_arg $ explore_silenced_arg $ max_schedules_arg
-      $ no_prune_arg $ no_oracle_arg $ replay_schedule_arg $ out_arg_explore)
+      $ omission_choices_arg $ explore_silenced_arg $ silence_mode_arg
+      $ max_schedules_arg $ no_prune_arg $ no_oracle_arg $ replay_schedule_arg
+      $ out_arg_explore)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -1,9 +1,14 @@
-type reason = Declared_crashed | Decision_silence | Recovery_exhausted
+type reason =
+  | Declared_crashed
+  | Decision_silence
+  | Recovery_exhausted
+  | Partitioned
 
 let reason_to_string = function
   | Declared_crashed -> "declared crashed (suicide)"
   | Decision_silence -> "decision silence"
   | Recovery_exhausted -> "recovery exhausted"
+  | Partitioned -> "partitioned (solo view)"
 
 type 'a action =
   | Broadcast of 'a Wire.body
@@ -89,8 +94,9 @@ let process_one t msg =
   Processed msg
 
 (* Process [msg] then drain the waiting list: each processed message can make
-   further waiting ones processable. *)
-let process_cascade t msg =
+   further waiting ones processable.  Returns the actions newest-first so
+   callers can splice trailing actions in before the single final reverse. *)
+let process_cascade_rev t msg =
   let actions = ref [ process_one t msg ] in
   let rec drain () =
     match Causal.Waiting_list.take_processable t.waiting t.delivery with
@@ -100,7 +106,9 @@ let process_cascade t msg =
         drain ()
   in
   drain ();
-  List.rev !actions
+  !actions
+
+let process_cascade t msg = List.rev (process_cascade_rev t msg)
 
 let receive_data t msg =
   let mid = msg.Causal.Causal_msg.mid in
@@ -154,8 +162,8 @@ let generate_data t =
     let msg = Causal.Causal_msg.make ~mid ~deps ~payload_size:size payload in
     (* The sender processes its own message immediately: its dependencies are
        all in its processed prefix by construction. *)
-    let processed = process_cascade t msg in
-    (Broadcast (Wire.Data msg) :: processed) @ [ Confirmed mid ]
+    let processed_rev = process_cascade_rev t msg in
+    Broadcast (Wire.Data msg) :: List.rev (Confirmed mid :: processed_rev)
   end
 
 (* -- decisions --------------------------------------------------------- *)
@@ -172,6 +180,8 @@ let purge_history t (d : Decision.t) =
    never be filled.  The group agreed (full-group decision) to destroy the
    waiting messages that depend on it. *)
 let purge_orphans t (d : Decision.t) =
+  (* Accumulated in reverse, reversed once at the end: origins ascending,
+     each origin's mids in discard order. *)
   let discarded = ref [] in
   for j = 0 to t.config.Config.n - 1 do
     if
@@ -184,22 +194,39 @@ let purge_orphans t (d : Decision.t) =
         Causal.Waiting_list.discard_from t.waiting ~origin
           ~seq:(d.max_processed.(j) + 1)
       in
-      discarded := !discarded @ mids
+      discarded := List.rev_append mids !discarded
     end
   done;
-  match !discarded with [] -> [] | mids -> [ Discarded mids ]
+  match !discarded with [] -> [] | mids -> [ Discarded (List.rev mids) ]
 
-let adopt_decision t d =
+(* [evidence] says whether adopting [d] proves some *other* process is still
+   running: the decision was issued by another coordinator, or (when we
+   coordinated it ourselves) it aggregated a request from at least one other
+   member.  Only such decisions may feed the liveness machinery — a solo
+   process's own decisions are not evidence of a live group, and treating
+   them as such is what kept the expelled-but-silenced zombie of
+   docs/EXPLORE.md alive forever.  Singleton groups are exempt: no other
+   process exists whose evidence could ever arrive. *)
+let adopt_decision t ~evidence d =
   if not (Decision.newer d ~than:t.decision) then []
   else begin
     t.decision <- d;
-    t.decision_seen_this_subrun <- true;
-    t.silence <- 0;
+    if evidence || t.config.Config.n = 1 then begin
+      t.decision_seen_this_subrun <- true;
+      t.silence <- 0
+    end;
     Causal.Group_view.set_alive_array t.view d.Decision.alive;
     if not d.Decision.alive.(Net.Node_id.to_int t.id) then
       (* "When an alive process notices it is supposed dead, it commits
          suicide." *)
       leave t Declared_crashed
+    else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
+    then
+      (* Primary-partition discipline: in a multi-process group a view that
+         degenerates to {self} is indistinguishable from being partitioned
+         away from a surviving majority, so the process departs instead of
+         coordinating a group nobody else belongs to. *)
+      leave t Partitioned
     else if d.Decision.full_group then begin
       purge_history t d;
       purge_orphans t d
@@ -308,7 +335,13 @@ let mid_subrun t ~subrun =
             Coordinator.compute ~config:t.config ~subrun ~coordinator:t.id
               ~prev ~requests
           in
-          let local = adopt_decision t d in
+          let evidence =
+            List.exists
+              (fun (r : Wire.request) ->
+                not (Net.Node_id.equal r.Wire.sender t.id))
+              requests
+          in
+          let local = adopt_decision t ~evidence d in
           if active t then (Broadcast (Wire.Decision_pdu d) :: local) else local
       | Some _ | None -> []
     in
@@ -340,7 +373,13 @@ let handle t body =
             if not already then t.pending_requests <- r :: t.pending_requests
         | Some _ | None -> ());
         []
-    | Wire.Decision_pdu d -> adopt_decision t d
+    | Wire.Decision_pdu d ->
+        (* A decision arriving over the network was sent by its coordinator;
+           it is evidence of another live process exactly when that
+           coordinator is somebody else. *)
+        adopt_decision t
+          ~evidence:(not (Net.Node_id.equal d.Decision.coordinator t.id))
+          d
     | Wire.Recover_req req -> handle_recover_req t req
     | Wire.Recover_reply { messages; _ } ->
         List.concat_map (receive_data t) messages

@@ -15,8 +15,18 @@
 
 type reason =
   | Declared_crashed  (** saw a decision with [alive.(self) = false]: suicide *)
-  | Decision_silence  (** no decision received for [silence_limit] subruns *)
+  | Decision_silence
+      (** no decision carrying evidence of another live process was received
+          for [silence_limit] subruns.  A decision is evidence only when it
+          was issued by another coordinator or aggregated a request from at
+          least one other member: a process's own solo decisions never reset
+          the counter (they would keep an expelled-but-silenced process alive
+          forever). *)
   | Recovery_exhausted  (** R unsuccessful attempts to recover from history *)
+  | Partitioned
+      (** the adopted view degenerated to [{self}] while [Config.n > 1]:
+          primary-partition discipline makes the process depart rather than
+          coordinate a solo view nobody else holds *)
 
 val reason_to_string : reason -> string
 

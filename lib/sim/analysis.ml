@@ -103,12 +103,14 @@ type verdict = {
   at_most_once_ok : bool;
   atomicity_ok : bool;
   zombie_ok : bool;
+  partition_ok : bool;
   skipped : string list;
   violations : string list;
 }
 
 let verdict_ok v =
   v.causal_ok && v.at_most_once_ok && v.atomicity_ok && v.zombie_ok
+  && v.partition_ok
 
 type t = {
   nodes : int;
@@ -242,7 +244,10 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
   let pre_window = Hashtbl.create 16 in
   let crashed = Hashtbl.create 8 in
   let left = Hashtbl.create 8 in
-  let discarded = ref Mid_set.empty in
+  (* Discards per discarding node: only the discards of nodes that turn out
+     to be survivors witness group agreement (a departed member may have
+     purged orphans under a solo decision nobody else holds). *)
+  let discarded_by : (int, Mid_set.t) Hashtbl.t = Hashtbl.create 8 in
   let rotations = Array.make (Stdlib.max n 1) 0 in
   let decisions = Array.make (Stdlib.max n 1) 0 in
   let recover_reqs = ref [] in  (* (origin, from, to) *)
@@ -254,6 +259,8 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
   let violations = ref [] in
   let causal_ok = ref true in
   let amo_ok = ref true in
+  let zombie_ok = ref true in
+  let partition_ok = ref true in
   let violation flag fmt =
     Printf.ksprintf
       (fun msg ->
@@ -308,6 +315,16 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
       violation causal_ok "node or origin out of range in deliver of (%d,%d)"
         origin seq
     else begin
+      (* A departed process must not keep processing: same-tick events
+         belong to the action batch that contained the departure, anything
+         strictly later is zombie processing. *)
+      (match Hashtbl.find_opt left node with
+      | Some left_tick when tick > left_tick ->
+          violation zombie_ok
+            "zombie: node %d processed (%d,%d) at tick %d after leaving at \
+             tick %d"
+            node origin seq tick left_tick
+      | _ -> ());
       (* At-most-once. *)
       if Mid_set.mem k delivered.(node) then
         violation amo_ok "node %d processed (%d,%d) more than once" node origin
@@ -405,7 +422,10 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
           List.iter
             (fun mid ->
               let k = key mid in
-              discarded := Mid_set.add k !discarded;
+              Hashtbl.replace discarded_by node
+                (Mid_set.add k
+                   (Option.value ~default:Mid_set.empty
+                      (Hashtbl.find_opt discarded_by node)));
               Hashtbl.remove pending_waits (node, k);
               match Hashtbl.find_opt accs k with
               | Some acc -> acc.a_discards <- acc.a_discards + 1
@@ -414,7 +434,17 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
       | Trace.Rotate { coordinator; _ } ->
           if coordinator >= 0 && coordinator < n then
             rotations.(coordinator) <- rotations.(coordinator) + 1
-      | Trace.Left { node; _ } -> Hashtbl.replace left node ()
+      | Trace.Left { node; reason } ->
+          if not (Hashtbl.mem left node) then Hashtbl.replace left node tick;
+          (* The reason string is the wire-stable rendering of
+             [Urcgc.Member.reason_to_string] (docs/TRACE.md).  A solo-view
+             departure means the group lost its primary partition — never
+             legitimate within the fault budget. *)
+          if reason = "partitioned (solo view)" then
+            violation partition_ok
+              "liveness: node %d left with a solo view at tick %d — the \
+               group lost its primary partition"
+              node tick
       | Trace.Crash { node } -> Hashtbl.replace crashed node ()
       | Trace.Drop { stage; kind; _ } ->
           let bump table k =
@@ -461,8 +491,16 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
             end)
           rest
   end;
-  (* Zombie processing: survivors must not have processed a discarded mid. *)
-  let zombie_ok = ref true in
+  (* Zombie processing: survivors must not have processed a mid that a
+     survivor discarded by group agreement. *)
+  let discarded =
+    List.fold_left
+      (fun acc node ->
+        match Hashtbl.find_opt discarded_by node with
+        | Some set -> Mid_set.union acc set
+        | None -> acc)
+      Mid_set.empty survivors
+  in
   List.iter
     (fun node ->
       Mid_set.iter
@@ -471,7 +509,7 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
             violation zombie_ok
               "zombie: surviving node %d processed discarded message (%d,%d)"
               node origin seq)
-        !discarded)
+        discarded)
     survivors;
   if not complete then
     skipped :=
@@ -593,13 +631,14 @@ let analyze ?n ?(complete : bool option) ?metrics_json records =
           Option.map (fun c -> (cls, c)) (Hashtbl.find_opt drops_class cls))
         Trace.Traffic_class.all;
     crashed = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) crashed []);
-    left = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) left []);
+    left = List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) left []);
     verdict =
       {
         causal_ok = !causal_ok;
         at_most_once_ok = !amo_ok;
         atomicity_ok = !atomicity_ok;
         zombie_ok = !zombie_ok;
+        partition_ok = !partition_ok;
         skipped = List.rev !skipped;
         violations = List.rev !violations;
       };
@@ -893,9 +932,9 @@ let report_json t =
     t.coverage.complete t.coverage.first_tick t.coverage.last_tick
     t.coverage.events t.coverage.pre_window_mids;
   Printf.bprintf buf
-    ",\"verdict\":{\"ok\":%b,\"causal_ok\":%b,\"at_most_once_ok\":%b,\"atomicity_ok\":%b,\"zombie_ok\":%b,\"checks_skipped\":"
+    ",\"verdict\":{\"ok\":%b,\"causal_ok\":%b,\"at_most_once_ok\":%b,\"atomicity_ok\":%b,\"zombie_ok\":%b,\"partition_ok\":%b,\"checks_skipped\":"
     (verdict_ok t.verdict) t.verdict.causal_ok t.verdict.at_most_once_ok
-    t.verdict.atomicity_ok t.verdict.zombie_ok;
+    t.verdict.atomicity_ok t.verdict.zombie_ok t.verdict.partition_ok;
   buf_string_list buf t.verdict.skipped;
   Buffer.add_string buf ",\"violations\":";
   buf_string_list buf t.verdict.violations;

@@ -66,6 +66,11 @@ type verdict = {
   at_most_once_ok : bool;
   atomicity_ok : bool;
   zombie_ok : bool;
+      (** no survivor processed a discarded mid, and no node processed
+          anything at a tick strictly after its [left] event *)
+  partition_ok : bool;
+      (** no [left] event carries the solo-view (primary partition lost)
+          reason; see docs/TRACE.md *)
   skipped : string list;
       (** checks suppressed because the window is truncated *)
   violations : string list;

@@ -26,16 +26,18 @@ let agrees (checker : Checker.verdict) (oracle : Sim.Analysis.verdict) =
     (oracle.Sim.Analysis.causal_ok && oracle.Sim.Analysis.at_most_once_ok)
   && Bool.equal checker.Checker.atomicity_ok oracle.Sim.Analysis.atomicity_ok
   && Bool.equal checker.Checker.zombie_ok oracle.Sim.Analysis.zombie_ok
+  && Bool.equal checker.Checker.partition_ok oracle.Sim.Analysis.partition_ok
 
 let pp_disagreement ppf ((checker : Checker.verdict), (oracle : Sim.Analysis.verdict)) =
   Format.fprintf ppf
-    "@[<v>checker: causal=%b atomicity=%b zombie=%b@,\
-     oracle:  causal=%b at_most_once=%b atomicity=%b zombie=%b@,\
+    "@[<v>checker: causal=%b atomicity=%b zombie=%b partition=%b@,\
+     oracle:  causal=%b at_most_once=%b atomicity=%b zombie=%b partition=%b@,\
      checker violations:%a@,oracle violations:%a@]"
     checker.Checker.causal_ok checker.Checker.atomicity_ok
-    checker.Checker.zombie_ok oracle.Sim.Analysis.causal_ok
-    oracle.Sim.Analysis.at_most_once_ok oracle.Sim.Analysis.atomicity_ok
-    oracle.Sim.Analysis.zombie_ok
+    checker.Checker.zombie_ok checker.Checker.partition_ok
+    oracle.Sim.Analysis.causal_ok oracle.Sim.Analysis.at_most_once_ok
+    oracle.Sim.Analysis.atomicity_ok oracle.Sim.Analysis.zombie_ok
+    oracle.Sim.Analysis.partition_ok
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf v ->
          Format.fprintf ppf "  - %s" v))
     checker.Checker.violations

@@ -263,11 +263,20 @@ let shrink ?(max_steps = 150) ?(jobs = 1) ~seed spec outcome =
   let required_safety =
     List.exists (fun v -> not (is_liveness v)) outcome.violations
   in
+  (* Shrinking must also preserve the budget class: an over-budget failure
+     (silenced + crashes > t) walking below the resilience bound would
+     change the claim entirely — "the protocol fails beyond its envelope"
+     is not shrinkable into "the protocol fails within it", and vice
+     versa.  The class check lives inside [still_fails] so the sequential
+     and speculative-parallel paths reject identically. *)
+  let original_within = within_budget spec in
   let still_fails candidate =
-    let outcome, report = execute ~seed candidate in
-    let safety_failed = not (Checker.ok report.Runner.verdict) in
-    if outcome.ok || (required_safety && not safety_failed) then None
-    else Some outcome
+    if within_budget candidate <> original_within then None
+    else
+      let outcome, report = execute ~seed candidate in
+      let safety_failed = not (Checker.ok report.Runner.verdict) in
+      if outcome.ok || (required_safety && not safety_failed) then None
+      else Some outcome
   in
   (* Greedy descent to a fixpoint: take the first candidate that still
      fails, restart from it; stop when no reduction preserves the failure

@@ -3,10 +3,12 @@ type verdict = {
   atomicity_ok : bool;
   zombie_ok : bool;
   views_ok : bool;
+  partition_ok : bool;
   violations : string list;
 }
 
-let ok v = v.causal_ok && v.atomicity_ok && v.zombie_ok && v.views_ok
+let ok v =
+  v.causal_ok && v.atomicity_ok && v.zombie_ok && v.views_ok && v.partition_ok
 
 let check_causal_order cluster violations =
   let config = Urcgc.Cluster.config cluster in
@@ -88,31 +90,73 @@ let check_atomicity cluster violations =
 
 let check_no_zombie cluster violations =
   let actives = Net.Node_id.Set.of_list (Urcgc.Cluster.active_members cluster) in
+  (* Only survivors' discards witness group agreement.  A member that later
+     departed may have purged orphans under a decision nobody else holds —
+     the solo "full-group" decision of a partitioned node is the canonical
+     case — and charging its discards against the survivors would flag
+     perfectly uniform runs. *)
   let discarded =
     List.fold_left
-      (fun acc (_, mids, _) ->
-        List.fold_left (fun acc mid -> Causal.Mid.Set.add mid acc) acc mids)
+      (fun acc (node, mids, _) ->
+        if Net.Node_id.Set.mem node actives then
+          List.fold_left (fun acc mid -> Causal.Mid.Set.add mid acc) acc mids
+        else acc)
       Causal.Mid.Set.empty
       (Urcgc.Cluster.discards cluster)
   in
-  if Causal.Mid.Set.is_empty discarded then true
-  else begin
-    let ok = ref true in
-    List.iter
-      (fun { Urcgc.Cluster.node; msg; _ } ->
-        if
-          Net.Node_id.Set.mem node actives
-          && Causal.Mid.Set.mem msg.Causal.Causal_msg.mid discarded
-        then begin
+  (* First departure tick per node: a member that left must never process
+     anything at a strictly later tick (same-tick events belong to the
+     action batch that contained the departure). *)
+  let left_at = Hashtbl.create 8 in
+  List.iter
+    (fun { Urcgc.Cluster.who; when_; _ } ->
+      if not (Hashtbl.mem left_at who) then Hashtbl.replace left_at who when_)
+    (Urcgc.Cluster.departures cluster);
+  let ok = ref true in
+  List.iter
+    (fun { Urcgc.Cluster.node; msg; at } ->
+      if
+        Net.Node_id.Set.mem node actives
+        && Causal.Mid.Set.mem msg.Causal.Causal_msg.mid discarded
+      then begin
+        ok := false;
+        violations :=
+          Format.asprintf "%a processed discarded message %a" Net.Node_id.pp
+            node Causal.Mid.pp msg.Causal.Causal_msg.mid
+          :: !violations
+      end;
+      match Hashtbl.find_opt left_at node with
+      | Some left when Sim.Ticks.compare at left > 0 ->
           ok := false;
           violations :=
-            Format.asprintf "%a processed discarded message %a" Net.Node_id.pp
-              node Causal.Mid.pp msg.Causal.Causal_msg.mid
+            Format.asprintf "zombie: %a processed %a at %a after leaving at %a"
+              Net.Node_id.pp node Causal.Mid.pp msg.Causal.Causal_msg.mid
+              Sim.Ticks.pp at Sim.Ticks.pp left
             :: !violations
-        end)
-      (Urcgc.Cluster.deliveries cluster);
-    !ok
-  end
+      | _ -> ())
+    (Urcgc.Cluster.deliveries cluster);
+  !ok
+
+(* A [Partitioned] departure means a member's adopted view degenerated to
+   itself alone: the group lost its primary partition.  Within the fault
+   budget (silenced + crashed <= t) this can never happen — at least
+   n - t >= t + 1 members keep agreeing on a common view — so any such
+   departure is the detectable liveness cost of beyond-budget fault load. *)
+let check_partition cluster violations =
+  let ok = ref true in
+  List.iter
+    (fun { Urcgc.Cluster.who; why; when_ } ->
+      if why = Urcgc.Member.Partitioned then begin
+        ok := false;
+        violations :=
+          Format.asprintf
+            "liveness: %a departed at %a with a solo view — the group lost \
+             its primary partition"
+            Net.Node_id.pp who Sim.Ticks.pp when_
+          :: !violations
+      end)
+    (Urcgc.Cluster.departures cluster);
+  !ok
 
 (* At quiescence every surviving member must hold the same group view
    (assumption 4 of Section 4: "the algorithm guarantees that all the
@@ -148,7 +192,15 @@ let check cluster =
   let atomicity_ok = check_atomicity cluster violations in
   let zombie_ok = check_no_zombie cluster violations in
   let views_ok = check_views cluster violations in
-  { causal_ok; atomicity_ok; zombie_ok; views_ok; violations = List.rev !violations }
+  let partition_ok = check_partition cluster violations in
+  {
+    causal_ok;
+    atomicity_ok;
+    zombie_ok;
+    views_ok;
+    partition_ok;
+    violations = List.rev !violations;
+  }
 
 let pp ppf v =
   if ok v then Format.pp_print_string ppf "all invariants hold"

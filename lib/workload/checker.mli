@@ -7,9 +7,16 @@
     - {b uniform atomicity} among survivors: all processes active at the end
       of the run processed exactly the same set of messages;
     - {b no zombie processing}: a message discarded by group agreement was
-      never processed by a surviving process;
+      never processed by a surviving process, and no process processed
+      anything at a tick strictly after it left the group;
     - {b view agreement}: all surviving processes hold the same group view
-      (Section 4, assumption 4). *)
+      (Section 4, assumption 4);
+    - {b primary partition}: no member departed with reason
+      {!Urcgc.Member.Partitioned}.  Such a departure means a member's
+      adopted view degenerated to itself alone, i.e. the group lost its
+      primary partition — impossible within the fault budget
+      (silenced + crashed <= t) and therefore the detectable liveness
+      signature of beyond-budget fault load. *)
 
 type verdict = {
   causal_ok : bool;
@@ -18,14 +25,16 @@ type verdict = {
           zombie and view clauses report separately below) *)
   zombie_ok : bool;
   views_ok : bool;
+  partition_ok : bool;
   violations : string list;  (** human-readable description of each failure *)
 }
 
 val ok : verdict -> bool
-(** All four clauses hold.  The clauses are separate fields so the
+(** All five clauses hold.  The clauses are separate fields so the
     trace-level oracle ({!Sim.Analysis}) can be cross-validated bit by bit:
-    it can witness causality, atomicity, and zombie processing from events
-    alone, but not view agreement (per-node view state is never traced). *)
+    it can witness causality, atomicity, zombie processing, and partition
+    departures from events alone, but not view agreement (per-node view
+    state is never traced). *)
 
 val check : 'a Urcgc.Cluster.t -> verdict
 

@@ -2,6 +2,8 @@
    protocol stack, with every nondeterministic decision routed through
    Sim.Explore.Ctx.  See explore.mli and docs/EXPLORE.md for the model. *)
 
+type silence_mode = Window | Persistent
+
 type config = {
   n : int;
   k : int;
@@ -12,6 +14,7 @@ type config = {
   fixed_crashes : (int * int) list;
   omission_choices : int;
   silenced : int;
+  silence_mode : silence_mode;
   max_deliveries_per_round : int;
   with_oracle : bool;
 }
@@ -50,8 +53,8 @@ let validate c =
 
 let config ?(k = 2) ?messages ?(window_subruns = 1) ?horizon_subruns
     ?(crash_choices = false) ?(fixed_crashes = []) ?(omission_choices = 0)
-    ?(silenced = 0) ?(max_deliveries_per_round = 256) ?(with_oracle = true) ~n
-    () =
+    ?(silenced = 0) ?(silence_mode = Persistent)
+    ?(max_deliveries_per_round = 256) ?(with_oracle = true) ~n () =
   let messages = match messages with Some m -> m | None -> n in
   let horizon_subruns =
     match horizon_subruns with
@@ -69,6 +72,7 @@ let config ?(k = 2) ?messages ?(window_subruns = 1) ?horizon_subruns
       fixed_crashes;
       omission_choices;
       silenced;
+      silence_mode;
       max_deliveries_per_round;
       with_oracle;
     }
@@ -142,6 +146,7 @@ type run_result = {
   generated : int;
   delivered_remote : int;
   rounds : int;
+  departures : (int * string) list;
   oracle_agrees : bool option;
   cascade_capped : bool;
 }
@@ -221,7 +226,10 @@ let run_schedule c ctx =
       let subrun =
         Sim.Ticks.to_int (Sim.Engine.now engine) / Sim.Ticks.per_rtd
       in
-      silenced_sets.(min subrun (c.window_subruns - 1)).(src)
+      match c.silence_mode with
+      | Persistent -> silenced_sets.(min subrun (c.window_subruns - 1)).(src)
+      | Window ->
+          subrun < c.window_subruns && silenced_sets.(subrun).(src)
   in
   let emit_drop ~src ~dst ~kind stage =
     if Sim.Trace.enabled trace then
@@ -425,6 +433,11 @@ let run_schedule c ctx =
     generated;
     delivered_remote;
     rounds = !rounds;
+    departures =
+      List.map
+        (fun { Urcgc.Cluster.who; why; _ } ->
+          (Net.Node_id.to_int who, Urcgc.Member.reason_to_string why))
+        (Urcgc.Cluster.departures cluster);
     oracle_agrees;
     cascade_capped = !cascade_capped;
   }
@@ -501,7 +514,12 @@ let repro_command c ~schedule =
     c.fixed_crashes;
   if c.omission_choices > 0 then
     Printf.bprintf b " --omission-choices %d" c.omission_choices;
-  if c.silenced > 0 then Printf.bprintf b " --silenced %d" c.silenced;
+  if c.silenced > 0 then begin
+    Printf.bprintf b " --silenced %d" c.silenced;
+    match c.silence_mode with
+    | Window -> Buffer.add_string b " --silence-mode window"
+    | Persistent -> ()
+  end;
   if not c.with_oracle then Buffer.add_string b " --no-oracle";
   Printf.bprintf b " --replay-schedule %s"
     (if schedule = [] then "-"
@@ -539,6 +557,10 @@ let of_campaign_spec ?(window_subruns = 2) (spec : Campaign.spec) =
             spec.Campaign.crashes;
         omission_choices = 0;
         silenced = spec.Campaign.silenced_per_subrun;
+        (* Campaign bursts keep applying for the whole run; shrunk
+           reproducers are short sustained bursts, so only the persistent
+           adversary rediscovers them. *)
+        silence_mode = Persistent;
         max_deliveries_per_round = 256;
         with_oracle = false;
       }
@@ -568,16 +590,26 @@ let to_json r =
   Printf.bprintf b
     "{\"explore\":{\"n\":%d,\"k\":%d,\"messages\":%d,\"window_subruns\":%d,\
      \"horizon_subruns\":%d,\"crash_choices\":%s,\"fixed_crashes\":[%s],\
-     \"omission_choices\":%d,\"silenced\":%d,\"max_deliveries_per_round\":%d,\
-     \"with_oracle\":%s,\"prune\":%s,\"max_schedules\":%d}"
+     \"omission_choices\":%d,\"silenced\":%d"
     c.n c.k c.messages c.window_subruns c.horizon_subruns
     (bool_str c.crash_choices)
     (String.concat ","
        (List.map
           (fun (node, round) -> Printf.sprintf "[%d,%d]" node round)
           c.fixed_crashes))
-    c.omission_choices c.silenced c.max_deliveries_per_round
-    (bool_str c.with_oracle) (bool_str r.prune) r.max_schedules;
+    c.omission_choices c.silenced;
+  (* Emitted only when silencing is on, so silenced-free pinned reports
+     keep their exact bytes from before the knob existed. *)
+  if c.silenced > 0 then
+    Printf.bprintf b ",\"silence_mode\":\"%s\""
+      (match c.silence_mode with
+      | Window -> "window"
+      | Persistent -> "persistent");
+  Printf.bprintf b
+    ",\"max_deliveries_per_round\":%d,\"with_oracle\":%s,\"prune\":%s,\
+     \"max_schedules\":%d}"
+    c.max_deliveries_per_round (bool_str c.with_oracle) (bool_str r.prune)
+    r.max_schedules;
   let s = r.stats in
   Printf.bprintf b
     ",\"space\":{\"total\":%d,\"explored\":%d,\"pruned\":%d,\"max_depth\":%d,\

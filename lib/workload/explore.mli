@@ -11,8 +11,12 @@
       first [omission_choices] packet copies offered to the network;
     - {b silencing}: an adversarial send-omission burst set of
       [silenced] nodes chosen independently for every window subrun (the
-      paper's per-subrun adversary); the last chosen set persists beyond the
-      window, so a hostile pattern keeps applying until the horizon;
+      paper's per-subrun adversary).  What happens beyond the window is
+      governed by {!silence_mode}: under [Persistent] (the default) the
+      last chosen set persists until the horizon — the harshest sustained
+      adversary, the one campaign reproducers shrink to — while under
+      [Window] the burst ends with the window and the group runs fault-free
+      afterwards;
     - {b delivery order}: within the window, whenever several packets are
       pending at a destination, every permutation of their delivery order —
       modulo the commutativity pruning below.
@@ -46,6 +50,11 @@
     fault was injected), and — optionally — by the independent
     {!Sim.Analysis} trace oracle cross-validated via {!Analyzer.agrees}. *)
 
+type silence_mode =
+  | Window  (** the burst ends with the window: fault-free thereafter *)
+  | Persistent
+      (** the last window set keeps applying until the horizon (default) *)
+
 type config = {
   n : int;  (** group cardinality *)
   k : int;  (** crash-detection retries K *)
@@ -63,6 +72,9 @@ type config = {
       (** enumerate losing one of the first this-many offered packet
           copies (0 disables omission branching) *)
   silenced : int;  (** adversarial burst size per window subrun *)
+  silence_mode : silence_mode;
+      (** whether the last window burst persists beyond the window;
+          irrelevant when [silenced = 0] *)
   max_deliveries_per_round : int;
       (** safety valve against same-round delivery cascades; exceeding it
           is reported as a violation *)
@@ -78,6 +90,7 @@ val config :
   ?fixed_crashes:(int * int) list ->
   ?omission_choices:int ->
   ?silenced:int ->
+  ?silence_mode:silence_mode ->
   ?max_deliveries_per_round:int ->
   ?with_oracle:bool ->
   n:int ->
@@ -86,7 +99,7 @@ val config :
 (** Defaults: [k = 2], [messages = n], [window_subruns = 1],
     [horizon_subruns = window_subruns + 2k + 4] (long enough for expulsion
     and autonomous departure to settle), no crash branching, no fixed
-    crashes, no omissions, no silencing,
+    crashes, no omissions, no silencing (mode [Persistent]),
     [max_deliveries_per_round = 256], oracle on.  Raises
     [Invalid_argument] (via {!validate}) on malformed values. *)
 
@@ -104,6 +117,9 @@ type run_result = {
   generated : int;
   delivered_remote : int;
   rounds : int;  (** protocol rounds actually executed (early stop) *)
+  departures : (int * string) list;
+      (** members that left the group, as [(node, reason)] in departure
+          order — e.g. [(0, "decision silence")] *)
   oracle_agrees : bool option;  (** [None] when the oracle is off *)
   cascade_capped : bool;
 }

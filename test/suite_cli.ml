@@ -46,13 +46,15 @@ let tests =
     check_exit "campaign --metrics leaves the verdict untouched" 0
       "campaign --metrics --budget 1 --seed 1";
     Alcotest.test_case "a replayed violation exits 1" `Slow (fun () ->
-        (* A known failing reproducer: silencing beyond the t = (n-1)/2
-           budget, found (and shrunk) by the seed-42 over-budget campaign. *)
+        (* A known failing reproducer: silencing 2 of 3 every subrun is
+           beyond the t = (n-1)/2 budget, and under this seed the group
+           dissolves entirely — the last member departs with a solo view,
+           which the primary-partition clause flags. *)
         Alcotest.(check int)
           "verdict failure" 1
           (run_cli
-             "replay -n 4 -K 3 --rate 0.3 --messages 19 --silenced 2 \
-              --max-rtd 60 --seed 370735096921512237"));
+             "replay -n 3 -K 2 --rate 0.5 --messages 6 --silenced 2 \
+              --max-rtd 60 --seed 1"));
     Alcotest.test_case "trace --out is byte-identical across runs" `Slow
       (fun () ->
         with_temp_file (fun out_a ->

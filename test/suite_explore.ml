@@ -275,6 +275,11 @@ let expectation_tests =
     check_expectation "explore_n3_w2_crash.json"
       (WE.config ~n:3 ~messages:6 ~window_subruns:2 ~crash_choices:true ());
     check_expectation "explore_n4_w1.json" (WE.config ~n:4 ());
+    (* Within-budget persistent silencing (t = 1 for n = 3): clean since the
+       solo-view zombie fix; previously this very sweep surfaced schedules
+       where the silenced node outlived its expulsion. *)
+    check_expectation "explore_n3_w2_s1.json"
+      (WE.config ~n:3 ~messages:6 ~window_subruns:2 ~silenced:1 ());
   ]
 
 (* ---- campaign-found failures are rediscovered -------------------------- *)
@@ -303,12 +308,13 @@ let rediscovery_tests =
     Alcotest.test_case "campaign reproducer is rediscovered by the explorer"
       `Slow (fun () ->
         (* A pinned over-budget campaign whose first run fails and shrinks
-           to a burst-only reproducer (seed 7: n=5 k=2 silenced=2, no
-           probabilistic faults).  Mapping it onto the explorer's bounded
-           model must rediscover a violation. *)
+           to a burst-only reproducer (seed 1: n=5 k=4 silenced=3, no
+           probabilistic faults — the shrinker preserves the over-budget
+           class, so the burst stays beyond t = 2).  Mapping it onto the
+           explorer's bounded model must rediscover a violation. *)
         let campaign =
           Workload.Campaign.run ~over_budget:true ~shrink_failures:true
-            ~budget:1 ~seed:7 ()
+            ~budget:1 ~seed:1 ()
         in
         let failing =
           List.filter
@@ -338,10 +344,52 @@ let rediscovery_tests =
           "explorer rediscovers the shrunk failure" true rediscovered);
   ]
 
+(* ---- regression: the solo-view zombie -------------------------------- *)
+
+let regression_tests =
+  [
+    Alcotest.test_case "the minimal zombie schedule now departs cleanly" `Quick
+      (fun () ->
+        (* Schedule [0;0;0;0] on n=3/silenced=1 is the minimal reproducer of
+           the solo-view zombie: p0 is silenced every subrun, the survivors
+           expel it, and before the evidence gate its own solo decisions
+           kept resetting its silence counter forever.  Pin the fixed
+           behaviour: p0 departs (decision silence, or partitioned if its
+           view collapses first), no clause fires, and the trace oracle
+           agrees. *)
+        let c = WE.config ~n:3 ~silenced:1 () in
+        let result, _steps = WE.replay c ~schedule:[ 0; 0; 0; 0 ] in
+        Alcotest.(check (list string)) "no violations" [] result.WE.violations;
+        Alcotest.(check (option bool)) "oracle agrees" (Some true)
+          result.WE.oracle_agrees;
+        let departed_reason =
+          List.assoc_opt 0 result.WE.departures
+        in
+        (match departed_reason with
+        | Some ("decision silence" | "partitioned (solo view)") -> ()
+        | Some other ->
+            Alcotest.failf "p0 departed for an unexpected reason: %s" other
+        | None -> Alcotest.fail "the silenced node never departed"));
+    Alcotest.test_case "window-mode silencing explores clean too" `Quick
+      (fun () ->
+        (* The weaker adversary (silencing stops at the window edge) is a
+           strict subset of persistent silencing: it must also be clean
+           within budget. *)
+        let c =
+          WE.config ~n:3 ~silenced:1 ~silence_mode:WE.Window
+            ~with_oracle:false ()
+        in
+        let report = WE.explore c in
+        Alcotest.(check bool) "ok" true (WE.ok report);
+        Alcotest.(check int) "no violating schedule" 0
+          report.WE.schedules_with_violations);
+  ]
+
 let suite =
   [
     ("explore.driver", driver_tests);
     ("explore.harness", config_tests);
+    ("explore.regression", regression_tests);
     ( "explore.soundness",
       List.map QCheck_alcotest.to_alcotest [ soundness_property ] );
     ("explore.expectations", expectation_tests);

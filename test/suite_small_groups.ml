@@ -29,19 +29,39 @@ let small_group_tests =
           (Workload.Checker.ok report.Workload.Runner.verdict);
         Alcotest.(check int) "all cross-delivered" 20
           report.Workload.Runner.delivered_remote);
-    Alcotest.test_case "a pair group survives one crash" `Quick (fun () ->
+    Alcotest.test_case "a pair group fails safe after one crash" `Quick
+      (fun () ->
+        (* n = 2 tolerates t = (n-1)/2 = 0 crashes, so one crash is beyond
+           budget and the survivor must NOT soldier on alone: after K
+           unanswered attempts it expels the crashed peer, finds itself in
+           a solo view, and departs [Partitioned] instead of
+           self-coordinating forever (its own decisions are not evidence of
+           another live process).  The departure is flagged as the liveness
+           cost of the beyond-budget crash — but every safety clause holds,
+           and nothing is processed after it leaves. *)
         let fault =
           Net.Fault.with_crashes
-            [ (node 1, Sim.Ticks.of_int 401) ]
+            [ (node 1, Sim.Ticks.of_int 150) ]
             Net.Fault.reliable
         in
         let report = run ~n:2 ~fault () in
-        Alcotest.(check bool) "invariants" true
-          (Workload.Checker.ok report.Workload.Runner.verdict);
-        (* The survivor must keep making progress alone: its own later
-           messages confirm and process locally. *)
-        Alcotest.(check bool) "kept generating" true
-          (report.Workload.Runner.generated > 5));
+        let v = report.Workload.Runner.verdict in
+        Alcotest.(check bool) "safety holds" true
+          (v.Workload.Checker.causal_ok && v.Workload.Checker.atomicity_ok
+         && v.Workload.Checker.zombie_ok && v.Workload.Checker.views_ok);
+        Alcotest.(check bool) "partition loss is flagged" false
+          v.Workload.Checker.partition_ok;
+        Alcotest.(check bool) "kept generating before departing" true
+          (report.Workload.Runner.generated > 0);
+        match report.Workload.Runner.departures with
+        | [ d ] ->
+            Alcotest.(check bool) "the survivor departed" true
+              (Net.Node_id.equal d.Urcgc.Cluster.who (node 0));
+            Alcotest.(check string) "with a solo view" "partitioned (solo view)"
+              (Urcgc.Member.reason_to_string d.Urcgc.Cluster.why)
+        | ds ->
+            Alcotest.failf "expected exactly the survivor's departure, got %d"
+              (List.length ds));
     Alcotest.test_case "n = 3 with omissions" `Quick (fun () ->
         let report =
           run ~n:3 ~fault:(Net.Fault.omission_every 60) ~messages:40 ()

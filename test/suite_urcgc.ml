@@ -484,6 +484,212 @@ let member_tests =
           then left := true
         done;
         Alcotest.(check bool) "left" true !left);
+    Alcotest.test_case "self-issued decisions never reset the silence clock"
+      `Quick (fun () ->
+        (* A decision the process coordinated alone is not evidence of any
+           other live process: feeding one per subrun must not postpone the
+           [Decision_silence] departure by a single subrun. *)
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        let self_decision subrun =
+          { (Decisions.initial 3) with Urcgc.Decision.subrun;
+            coordinator = node 1 }
+        in
+        let left_at = ref None in
+        let s = ref 0 in
+        while Urcgc.Member.active m && !s <= 6 do
+          let actions = Urcgc.Member.begin_subrun m ~subrun:!s in
+          if
+            List.exists
+              (function
+                | Urcgc.Member.Left Urcgc.Member.Decision_silence -> true
+                | _ -> false)
+              actions
+          then left_at := Some !s
+          else
+            ignore
+              (Urcgc.Member.handle m
+                 (Urcgc.Wire.Decision_pdu (self_decision !s)));
+          incr s
+        done;
+        (* silence_limit = 2k = 4: the counter first increments at subrun 1
+           (subrun 0 is the very first) and reaches the limit at subrun 4. *)
+        Alcotest.(check (option int)) "left at exactly silence_limit" (Some 4)
+          !left_at);
+    Alcotest.test_case "peer-issued decisions do reset the silence clock"
+      `Quick (fun () ->
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 2) in
+        let peer_decision subrun =
+          { (Decisions.initial 3) with Urcgc.Decision.subrun;
+            coordinator = node 0 }
+        in
+        for s = 0 to 7 do
+          let actions = Urcgc.Member.begin_subrun m ~subrun:s in
+          Alcotest.(check bool)
+            (Printf.sprintf "still active at subrun %d" s)
+            false
+            (List.exists
+               (function Urcgc.Member.Left _ -> true | _ -> false)
+               actions);
+          ignore
+            (Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu (peer_decision s)))
+        done;
+        Alcotest.(check bool) "active past 2x the limit" true
+          (Urcgc.Member.active m));
+    Alcotest.test_case "coordinating alone is not evidence of life" `Quick
+      (fun () ->
+        (* p1 coordinates subrun 1 with no pending peer requests: the
+           decision it computes aggregates only its own state and must not
+           touch the silence counter. *)
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        let left_at = ref None in
+        let s = ref 0 in
+        while Urcgc.Member.active m && !s <= 6 do
+          let actions = Urcgc.Member.begin_subrun m ~subrun:!s in
+          if
+            List.exists
+              (function
+                | Urcgc.Member.Left Urcgc.Member.Decision_silence -> true
+                | _ -> false)
+              actions
+          then left_at := Some !s
+          else if !s = 1 then ignore (Urcgc.Member.mid_subrun m ~subrun:1);
+          incr s
+        done;
+        Alcotest.(check (option int)) "solo coordination bought no time"
+          (Some 4) !left_at);
+    Alcotest.test_case "aggregating a peer's request is evidence of life"
+      `Quick (fun () ->
+        (* Same schedule as above, but p0's request reaches p1 before it
+           coordinates subrun 1: the decision now proves another process is
+           alive, so the counter resets and departure moves out to subrun
+           1 + 1 + silence_limit = 6. *)
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        let left_at = ref None in
+        let s = ref 0 in
+        while Urcgc.Member.active m && !s <= 8 do
+          let actions = Urcgc.Member.begin_subrun m ~subrun:!s in
+          if
+            List.exists
+              (function
+                | Urcgc.Member.Left Urcgc.Member.Decision_silence -> true
+                | _ -> false)
+              actions
+          then left_at := Some !s
+          else if !s = 1 then begin
+            ignore
+              (Urcgc.Member.handle m
+                 (Urcgc.Wire.Request (request ~sender:0 ~subrun:1 ~prev:(Decisions.initial 3) 3)));
+            ignore (Urcgc.Member.mid_subrun m ~subrun:1)
+          end;
+          incr s
+        done;
+        Alcotest.(check (option int)) "the peer request reset the clock"
+          (Some 6) !left_at);
+    Alcotest.test_case "a solo view departs as partitioned" `Quick (fun () ->
+        (* Primary-partition discipline: adopting a view that contains only
+           yourself (while n > 1) means the rest of the group is gone or
+           unreachable — depart instead of self-coordinating. *)
+        let m : unit Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        ignore (Urcgc.Member.begin_subrun m ~subrun:0);
+        let solo =
+          { (Decisions.initial 3) with Urcgc.Decision.subrun = 0;
+            coordinator = node 0; alive = [| false; true; false |] }
+        in
+        let actions = Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu solo) in
+        Alcotest.(check bool) "left partitioned" true
+          (List.exists
+             (function
+               | Urcgc.Member.Left Urcgc.Member.Partitioned -> true
+               | _ -> false)
+             actions);
+        Alcotest.(check bool) "inactive" false (Urcgc.Member.active m);
+        (* The trace oracle in [Sim.Analysis] matches this string verbatim:
+           keep them in lock step. *)
+        match Urcgc.Member.left_reason m with
+        | Some r ->
+            Alcotest.(check string) "reason string" "partitioned (solo view)"
+              (Urcgc.Member.reason_to_string r)
+        | None -> Alcotest.fail "no departure recorded");
+    Alcotest.test_case "generation emits broadcast, cascade order, confirm"
+      `Quick (fun () ->
+        (* Pins the exact emission order of [generate_data]: the broadcast
+           first, then every [Processed] in causal processing order (own
+           message, then the waiting messages it unblocked), and the
+           [Confirmed] last — the order the rev-accumulating cascade must
+           preserve. *)
+        let m : string Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        (* p0#1 depends on our not-yet-sent p1#1: it waits. *)
+        let blocked =
+          Causal.Causal_msg.make ~mid:(mid 0 1) ~deps:[ mid 1 1 ]
+            ~payload_size:4 "x"
+        in
+        ignore (Urcgc.Member.handle m (Urcgc.Wire.Data blocked));
+        Alcotest.(check int) "waiting" 1 (Urcgc.Member.waiting_length m);
+        Urcgc.Member.submit m "mine";
+        let actions = Urcgc.Member.begin_subrun m ~subrun:0 in
+        let data_order =
+          List.filter_map
+            (function
+              | Urcgc.Member.Broadcast (Urcgc.Wire.Data d) ->
+                  Some ("broadcast", d.Causal.Causal_msg.mid)
+              | Urcgc.Member.Processed p ->
+                  Some ("processed", p.Causal.Causal_msg.mid)
+              | Urcgc.Member.Confirmed c -> Some ("confirmed", c)
+              | _ -> None)
+            actions
+        in
+        let expected =
+          [
+            ("broadcast", mid 1 1);
+            ("processed", mid 1 1);
+            ("processed", mid 0 1);
+            ("confirmed", mid 1 1);
+          ]
+        in
+        Alcotest.(check (list (pair string (testable Causal.Mid.pp Causal.Mid.equal))))
+          "emission order" expected data_order);
+    Alcotest.test_case "orphan discards come out origin-ascending" `Quick
+      (fun () ->
+        (* Pins the discard emission order of [purge_orphans]: one
+           [Discarded] action, origins ascending, each origin's mids in
+           waiting order. *)
+        let config = Urcgc.Config.make ~n:4 ~k:2 () in
+        let m : string Urcgc.Member.t = Urcgc.Member.create config (node 1) in
+        List.iter
+          (fun (o, s) ->
+            ignore
+              (Urcgc.Member.handle m
+                 (Urcgc.Wire.Data
+                    (Causal.Causal_msg.make ~mid:(mid o s) ~deps:[]
+                       ~payload_size:4 "w"))))
+          [ (2, 2); (0, 2); (0, 3) ];
+        Alcotest.(check int) "three waiting" 3 (Urcgc.Member.waiting_length m);
+        (* Full-group decision: p0 and p2 are gone, nobody processed their
+           seq 1, and messages from seq 2 up are waiting — orphans. *)
+        let d0 = Decisions.initial 4 in
+        let d =
+          {
+            d0 with
+            Urcgc.Decision.subrun = 0;
+            coordinator = node 3;
+            full_group = true;
+            alive = [| false; true; false; true |];
+            min_waiting = [| 2; 0; 2; 0 |];
+          }
+        in
+        let actions = Urcgc.Member.handle m (Urcgc.Wire.Decision_pdu d) in
+        let discards =
+          List.filter_map
+            (function Urcgc.Member.Discarded mids -> Some mids | _ -> None)
+            actions
+        in
+        match discards with
+        | [ mids ] ->
+            Alcotest.(check (list (testable Causal.Mid.pp Causal.Mid.equal)))
+              "origins ascending, waiting order within"
+              [ mid 0 2; mid 0 3; mid 2 2 ]
+              mids
+        | _ -> Alcotest.fail "expected exactly one Discarded action");
     Alcotest.test_case "flow control blocks generation at the threshold" `Quick
       (fun () ->
         let config = Urcgc.Config.make ~n:3 ~k:2 ~flow_threshold:(Some 2) () in

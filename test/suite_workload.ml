@@ -62,6 +62,7 @@ let checker_tests =
             atomicity_ok = true;
             zombie_ok = true;
             views_ok = true;
+            partition_ok = true;
             violations = [ "synthetic violation" ];
           }
         in
