@@ -133,7 +133,17 @@ let run ?(quick = false) ?out ?check () =
   Format.printf "  parallel backend: %s; detected cores: %d@."
     (if Sim.Pool.available then "domains" else "sequential fallback")
     (Sim.Pool.default_jobs ());
+  let cores = Sim.Pool.default_jobs () in
+  let max_jobs = List.fold_left max 1 job_counts in
+  if cores < max_jobs then
+    Format.printf
+      "  *** WARNING: only %d core(s) detected but sweeping up to -j %d.@.\
+      \  *** Oversubscribed job counts will show ~1x (or worse) speedup; do@.\
+      \  *** NOT read those rows as a scheduler regression, and do not@.\
+      \  *** refresh the committed baseline from this machine.@."
+      cores max_jobs;
   if quick then Format.printf "  (quick mode: budget 30, 1 repetition)@.";
+  Sim.Pool.reset_stats ();
   let baseline = Option.map (fun path -> (path, baseline_runs_per_sec path)) check in
   let budget, samples = run_all ~quick in
   Format.printf "  %-8s %14s %10s@." "jobs" "runs/sec" "speedup";
@@ -143,6 +153,13 @@ let run ?(quick = false) ?out ?check () =
     samples;
   Format.printf "  (all -j reports byte-identical to -j 1; budget %d, seed 1)@."
     budget;
+  (* Per-domain pool counters across the whole sweep: tasks and steal
+     attempts localize a load-balance problem to a domain; busy/idle split
+     shows whether a low speedup is starvation or oversubscription. *)
+  let pool_registry = Sim.Metrics.create () in
+  Sim.Pool.record_metrics pool_registry;
+  Format.printf "@[<v 2>  pool counters (all job counts pooled):@ %a@]@."
+    Sim.Metrics.pp pool_registry;
   (match out with
   | None -> ()
   | Some path ->

@@ -6,9 +6,9 @@
      dune exec bench/main.exe -- fig5 table1 fig6a fig6b micro
 *)
 
-(* Options consumed by the baseline-tracked experiments `hotpath` and
-   `campaign-throughput` (ignored by the others): --quick, --out FILE,
-   --check FILE. *)
+(* Options consumed by the baseline-tracked experiments `hotpath`,
+   `campaign-throughput` and `profile-overhead` (ignored by the others):
+   --quick, --out FILE, --check FILE. *)
 type baseline_opts = {
   mutable quick : bool;
   mutable out : string option;
@@ -23,6 +23,10 @@ let run_hotpath () =
 
 let run_campaign_throughput () =
   Campaign_throughput.run ~quick:baseline_opts.quick ?out:baseline_opts.out
+    ?check:baseline_opts.check ()
+
+let run_profile_overhead () =
+  Profile_overhead.run ~quick:baseline_opts.quick ?out:baseline_opts.out
     ?check:baseline_opts.check ()
 
 let experiments =
@@ -46,6 +50,9 @@ let experiments =
     ( "campaign-throughput",
       "Campaign runs/sec at -j 1/2/4/8 with tracked JSON baseline",
       run_campaign_throughput );
+    ( "profile-overhead",
+      "Sim.Prof probe cost on the subrun hot path, off and on",
+      run_profile_overhead );
   ]
 
 let () =

@@ -1,0 +1,171 @@
+(* Profiler overhead on the end-to-end subrun hot path.
+
+     dune exec bench/main.exe -- profile-overhead
+     dune exec bench/main.exe -- profile-overhead --check BENCH_hotpath.json
+
+   The Sim.Prof probes stay compiled into every hot path (member phases,
+   engine dispatch, netsim delivery, runner callbacks), so the disabled
+   mode must be provably cheap: one [!Sim.Prof.on] load and branch per
+   probe site.  This bench measures the same [subrun ~n] scenario the
+   hotpath baseline tracks, in two interleaved arms:
+
+   - disabled: probes present, profiler off — the cost every normal run
+     pays.  Compared against the committed BENCH_hotpath.json numbers
+     (recorded by the same methodology) under `--check`; the expected
+     delta is under 2%, and the gate allows 15% for timer noise on
+     shared CI machines.
+   - enabled: full span recording with GC deltas and latency samples —
+     the cost of running with `--profile`.  Reported for scale, never
+     gated: profiling overhead is a price the user opts into.
+
+   Arms alternate block-by-block and each arm keeps its best block, so a
+   background-load spike hits both arms rather than biasing one. *)
+
+type sample = {
+  name : string;
+  ops : int;
+  reps : int;  (* per block *)
+  disabled_ns : float;
+  enabled_ns : float;
+  spans : int;  (* distinct spans in the enabled arm's capture *)
+}
+
+let time_block f reps =
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  Unix.gettimeofday () -. t0
+
+let count_spans report =
+  let rec go acc (s : Sim.Prof.stat) =
+    List.fold_left go (acc + 1) s.Sim.Prof.children
+  in
+  go 0 (Sim.Prof.root report)
+
+let measure ~quick ~n =
+  let f = Hotpath.subrun ~n in
+  f ();
+  (* Size repetitions so one block costs ~0.1 s, then alternate arms. *)
+  let reps =
+    if quick then 2
+    else begin
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt <= 1e-9 then 50 else max 1 (min 50 (int_of_float (0.1 /. dt)))
+    end
+  in
+  let blocks = if quick then 1 else 5 in
+  let disabled = ref infinity and enabled = ref infinity in
+  let spans = ref 0 in
+  for _ = 1 to blocks do
+    let dt = time_block f reps in
+    if dt < !disabled then disabled := dt;
+    Sim.Prof.enable ();
+    let dt = time_block f reps in
+    let report = Sim.Prof.capture () in
+    spans := count_spans report;
+    if dt < !enabled then enabled := dt
+  done;
+  let per_op best = best *. 1e9 /. float_of_int (reps * n) in
+  {
+    name = Printf.sprintf "subrun_n%d" n;
+    ops = n;
+    reps;
+    disabled_ns = per_op !disabled;
+    enabled_ns = per_op !enabled;
+    spans = !spans;
+  }
+
+let sizes = [ 8; 15; 40; 128 ]
+
+let enabled_pct s = 100. *. ((s.enabled_ns /. s.disabled_ns) -. 1.)
+
+(* -- JSON export and baseline check ------------------------------------- *)
+
+let json_of_samples ~quick samples =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "{\"schema\":\"urcgc.bench.profile_overhead/1\",\"quick\":%b,\"results\":["
+    quick;
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"name\":\"%s\",\"ops\":%d,\"reps\":%d,\"disabled_ns_per_op\":%.2f,\"enabled_ns_per_op\":%.2f,\"enabled_overhead_pct\":%.1f,\"spans\":%d}"
+        s.name s.ops s.reps s.disabled_ns s.enabled_ns (enabled_pct s) s.spans)
+    samples;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* Gate: probes-compiled-in-but-disabled must stay within [tolerance] of
+   the committed hotpath numbers for the same scenarios.  The real probe
+   cost is a load+branch (<2%); the headroom absorbs timer noise. *)
+let check_against ~path ~baseline samples =
+  match baseline with
+  | Error e ->
+      Format.printf "  baseline check: %s@." e;
+      false
+  | Ok baseline ->
+      let tolerance = 1.15 in
+      let failures =
+        List.filter_map
+          (fun s ->
+            match List.assoc_opt s.name baseline with
+            | None -> None
+            | Some base when s.disabled_ns <= tolerance *. base -> None
+            | Some base -> Some (s.name, base, s.disabled_ns))
+          samples
+      in
+      List.iter
+        (fun (name, base, got) ->
+          Format.printf
+            "  REGRESSION %s: %.0f ns/op disabled vs baseline %.0f ns/op \
+             (> +%.0f%%)@."
+            name got base (100. *. (tolerance -. 1.)))
+        failures;
+      if failures = [] then
+        Format.printf
+          "  baseline check: disabled-mode within +%.0f%% of %s@."
+          (100. *. (tolerance -. 1.))
+          path;
+      failures = []
+
+let run ?(quick = false) ?out ?check () =
+  Format.printf "@.== Profiler overhead (probes on the subrun hot path) ==@.@.";
+  if quick then
+    Format.printf "  (quick mode: 1 block of 2 repetitions per size)@.";
+  let baseline = Option.map (fun path -> (path, Hotpath.baseline_ns path)) check in
+  let samples = List.map (fun n -> measure ~quick ~n) sizes in
+  Format.printf "  %-12s %6s %12s %12s %10s %6s@." "scenario" "reps"
+    "off ns/op" "on ns/op" "on cost" "spans";
+  List.iter
+    (fun s ->
+      Format.printf "  %-12s %6d %12.1f %12.1f %9.1f%% %6d@." s.name s.reps
+        s.disabled_ns s.enabled_ns (enabled_pct s) s.spans)
+    samples;
+  (match baseline with
+  | Some (_, Ok baseline) ->
+      List.iter
+        (fun s ->
+          match List.assoc_opt s.name baseline with
+          | None -> ()
+          | Some base ->
+              Format.printf
+                "  %-12s disabled vs committed baseline: %+.1f%%@." s.name
+                (100. *. ((s.disabled_ns /. base) -. 1.)))
+        samples
+  | Some (_, Error _) | None -> ());
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (json_of_samples ~quick samples);
+      close_out oc;
+      Format.printf "  wrote %s@." path);
+  match baseline with
+  | None -> ()
+  | Some (path, baseline) ->
+      if not (check_against ~path ~baseline samples) then exit 1

@@ -82,6 +82,39 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Record the run's metrics registry and include it in the output.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ]
+        ~doc:
+          "Profile the run: write the span-tree cost-attribution report \
+           (JSON, schema in docs/PROFILE.md) to $(docv), the \
+           deterministic structural report to $(docv).structural, and \
+           folded stacks for flamegraph.pl/speedscope to $(docv).folded. \
+           The human summary goes to standard error.  Profiled campaigns \
+           run with a single worker.  The simulation outputs are \
+           byte-identical with and without profiling."
+        ~docv:"FILE")
+
+let write_file_raw path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let profile_enable = function None -> () | Some _ -> Sim.Prof.enable ()
+
+(* Capture between the workload and the output path: serialization and
+   printing stay outside the root span, so coverage measures the run. *)
+let profile_finish = function
+  | None -> ()
+  | Some path ->
+      let report = Sim.Prof.capture () in
+      write_file_raw path (Sim.Prof.report_json report);
+      write_file_raw (path ^ ".structural") (Sim.Prof.structural_json report);
+      write_file_raw (path ^ ".folded") (Sim.Prof.folded report);
+      Format.eprintf "%a@." Sim.Prof.pp_summary report
+
 (* Spec validation failures (negative budget, silenced >= n, rate outside
    [0, 1], ...) surface as Invalid_argument from the library; report them as
    CLI usage errors rather than crashing. *)
@@ -146,7 +179,7 @@ let trace_out_arg =
         ~docv:"FILE")
 
 let run_trace n k rate messages omission crashes flow seed codec max_rtd
-    metrics out =
+    metrics profile out =
   cli_guard @@ fun () ->
   let scenario =
     cli_scenario ~name:"trace" n k rate messages omission crashes flow seed
@@ -154,7 +187,9 @@ let run_trace n k rate messages omission crashes flow seed codec max_rtd
   in
   let trace = Sim.Trace.unbounded () in
   let registry = if metrics then Sim.Metrics.create () else Sim.Metrics.null in
+  profile_enable profile;
   let report = Workload.Runner.run ~tracer:trace ~metrics:registry scenario in
+  profile_finish profile;
   (* Byte-exact output path: no Format margins anywhere near the JSONL. *)
   let oc = match out with Some path -> open_out path | None -> stdout in
   Sim.Trace.iter trace ~f:(fun record ->
@@ -174,7 +209,7 @@ let trace_cmd =
     Term.(
       const run_trace $ n_arg $ k_arg $ rate_arg $ messages_arg $ omission_arg
       $ crash_arg $ flow_arg $ seed_arg $ codec_arg $ max_rtd_arg $ metrics_arg
-      $ trace_out_arg)
+      $ profile_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -457,12 +492,22 @@ let campaign_analyze_arg =
            agreement bit in the JSON output.")
 
 let run_campaign budget seed over_budget no_shrink with_metrics with_analysis
-    jobs out =
+    jobs profile out =
   cli_guard @@ fun () ->
+  Sim.Pool.reset_stats ();
+  profile_enable profile;
   let campaign =
     Workload.Campaign.run ~over_budget ~shrink_failures:(not no_shrink)
       ~with_metrics ~with_analysis ~jobs ~budget ~seed ()
   in
+  profile_finish profile;
+  (* The pool's per-domain counters are wall-clock-dependent, so they go to
+     the human (stderr), never into the byte-compared JSON report. *)
+  if with_metrics then begin
+    let pool_registry = Sim.Metrics.create () in
+    Sim.Pool.record_metrics pool_registry;
+    Format.eprintf "@[<v 2>pool:@ %a@]@." Sim.Metrics.pp pool_registry
+  end;
   let json = Workload.Campaign.to_json campaign in
   (match out with
   | Some path ->
@@ -493,7 +538,7 @@ let campaign_cmd =
     Term.(
       const run_campaign $ budget_arg $ seed_arg $ over_budget_arg
       $ no_shrink_arg $ metrics_arg $ campaign_analyze_arg $ jobs_arg
-      $ out_arg)
+      $ profile_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -541,7 +586,7 @@ let replay_analyze_arg =
            if the oracle disagrees with the live checker.")
 
 let run_replay n k rate messages send_omission recv_omission link_loss
-    silenced crashes max_rtd seed trace metrics analyze =
+    silenced crashes max_rtd seed trace metrics analyze profile =
   cli_guard @@ fun () ->
   let spec =
     {
@@ -571,7 +616,9 @@ let run_replay n k rate messages send_omission recv_omission link_loss
   let scenario =
     Workload.Campaign.scenario_of_spec ~name:"replay" ~seed spec
   in
+  profile_enable profile;
   let report = Workload.Runner.run ~tracer ~metrics:registry scenario in
+  profile_finish profile;
   if trace then Sim.Tracer.dump Format.std_formatter tracer;
   let outcome = Workload.Campaign.evaluate spec report in
   Format.printf "%a@." Workload.Runner.pp_report report;
@@ -609,7 +656,7 @@ let replay_cmd =
       const run_replay $ n_arg $ k_arg $ rate_arg $ messages_arg
       $ send_omission_arg $ recv_omission_arg $ link_loss_arg $ silenced_arg
       $ crash_arg $ max_rtd_arg $ seed_arg $ trace_arg $ metrics_arg
-      $ replay_analyze_arg)
+      $ replay_analyze_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -774,7 +821,7 @@ let explore_config n k messages window horizon crash_choices fixed_crashes
 
 let run_explore n k messages window horizon crash_choices fixed_crashes
     omission_choices silenced silence_mode max_schedules no_prune no_oracle
-    replay_schedule out =
+    replay_schedule profile out =
   cli_guard @@ fun () ->
   let config =
     explore_config n k messages window horizon crash_choices fixed_crashes
@@ -794,7 +841,9 @@ let run_explore n k messages window horizon crash_choices fixed_crashes
                        "explore: --replay-schedule wants comma-separated \
                         non-negative integers")
       in
+      profile_enable profile;
       let result, steps = Workload.Explore.replay config ~schedule in
+      profile_finish profile;
       List.iteri
         (fun i step ->
           Format.printf "%3d: %d/%d %s@." i step.Sim.Explore.chosen
@@ -819,9 +868,11 @@ let run_explore n k messages window horizon crash_choices fixed_crashes
         1
       end
   | None ->
+      profile_enable profile;
       let report =
         Workload.Explore.explore ~prune:(not no_prune) ~max_schedules config
       in
+      profile_finish profile;
       let json = Workload.Explore.to_json report in
       (match out with
       | Some path ->
@@ -843,7 +894,7 @@ let explore_cmd =
       $ window_arg $ horizon_arg $ crash_choices_arg $ fixed_crash_arg
       $ omission_choices_arg $ explore_silenced_arg $ silence_mode_arg
       $ max_schedules_arg $ no_prune_arg $ no_oracle_arg $ replay_schedule_arg
-      $ out_arg_explore)
+      $ profile_arg $ out_arg_explore)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -235,10 +235,12 @@ let start t =
   let rec tick () =
     run_round t;
     ignore
-      (Sim.Engine.schedule_after engine ~delay:Sim.Ticks.round
-         tick)
+      (Sim.Engine.schedule_after ~label:"cluster.round" engine
+         ~delay:Sim.Ticks.round tick)
   in
-  ignore (Sim.Engine.schedule_after engine ~delay:Sim.Ticks.zero tick)
+  ignore
+    (Sim.Engine.schedule_after ~label:"cluster.round" engine
+       ~delay:Sim.Ticks.zero tick)
 
 let config t = t.config
 let member t node = t.members.(Net.Node_id.to_int node)

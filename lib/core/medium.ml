@@ -67,6 +67,7 @@ let multicast t ~src ~dsts body = t.multicast ~src ~dsts body
 
 let with_codec codec inner =
   let through body =
+    if !Sim.Prof.on then Sim.Prof.enter "codec";
     let raw = Wire_codec.encode_body codec body in
     (* The group size is recoverable from the PDU itself only for some
        variants; thread it from the vectors we can see. *)
@@ -82,12 +83,16 @@ let with_codec codec inner =
         (* Data/recovery PDUs carry no vectors; any positive n decodes them. *)
         1
     in
-    match Wire_codec.decode_body codec ~n raw with
-    | Ok decoded -> decoded
-    | Error reason ->
-        invalid_arg
-          (Printf.sprintf "Medium.with_codec: PDU does not round-trip: %s"
-             reason)
+    let decoded =
+      match Wire_codec.decode_body codec ~n raw with
+      | Ok decoded -> decoded
+      | Error reason ->
+          invalid_arg
+            (Printf.sprintf "Medium.with_codec: PDU does not round-trip: %s"
+               reason)
+    in
+    if !Sim.Prof.on then Sim.Prof.exit ();
+    decoded
   in
   {
     inner with

@@ -98,6 +98,7 @@ let process_one t msg =
    callers can splice trailing actions in before the single final reverse. *)
 let process_cascade_rev t msg =
   let actions = ref [ process_one t msg ] in
+  if !Sim.Prof.on then Sim.Prof.enter "member.drain";
   let rec drain () =
     match Causal.Waiting_list.take_processable t.waiting t.delivery with
     | None -> ()
@@ -106,6 +107,7 @@ let process_cascade_rev t msg =
         drain ()
   in
   drain ();
+  if !Sim.Prof.on then Sim.Prof.exit ();
   !actions
 
 let process_cascade t msg = List.rev (process_cascade_rev t msg)
@@ -141,6 +143,7 @@ let generate_data t =
   update_flow_control t;
   if t.flow_blocked || Queue.is_empty t.sap then []
   else begin
+    if !Sim.Prof.on then Sim.Prof.enter "member.submit";
     let { payload; deps; size } = Queue.pop t.sap in
     let deps =
       match deps with
@@ -163,7 +166,11 @@ let generate_data t =
     (* The sender processes its own message immediately: its dependencies are
        all in its processed prefix by construction. *)
     let processed_rev = process_cascade_rev t msg in
-    Broadcast (Wire.Data msg) :: List.rev (Confirmed mid :: processed_rev)
+    let actions =
+      Broadcast (Wire.Data msg) :: List.rev (Confirmed mid :: processed_rev)
+    in
+    if !Sim.Prof.on then Sim.Prof.exit ();
+    actions
   end
 
 (* -- decisions --------------------------------------------------------- *)
@@ -180,6 +187,7 @@ let purge_history t (d : Decision.t) =
    never be filled.  The group agreed (full-group decision) to destroy the
    waiting messages that depend on it. *)
 let purge_orphans t (d : Decision.t) =
+  if !Sim.Prof.on then Sim.Prof.enter "member.discard";
   (* Accumulated in reverse, reversed once at the end: origins ascending,
      each origin's mids in discard order. *)
   let discarded = ref [] in
@@ -197,7 +205,11 @@ let purge_orphans t (d : Decision.t) =
       discarded := List.rev_append mids !discarded
     end
   done;
-  match !discarded with [] -> [] | mids -> [ Discarded (List.rev mids) ]
+  let actions =
+    match !discarded with [] -> [] | mids -> [ Discarded (List.rev mids) ]
+  in
+  if !Sim.Prof.on then Sim.Prof.exit ();
+  actions
 
 (* [evidence] says whether adopting [d] proves some *other* process is still
    running: the decision was issued by another coordinator, or (when we
@@ -210,28 +222,33 @@ let purge_orphans t (d : Decision.t) =
 let adopt_decision t ~evidence d =
   if not (Decision.newer d ~than:t.decision) then []
   else begin
+    if !Sim.Prof.on then Sim.Prof.enter "member.adopt";
     t.decision <- d;
     if evidence || t.config.Config.n = 1 then begin
       t.decision_seen_this_subrun <- true;
       t.silence <- 0
     end;
     Causal.Group_view.set_alive_array t.view d.Decision.alive;
-    if not d.Decision.alive.(Net.Node_id.to_int t.id) then
-      (* "When an alive process notices it is supposed dead, it commits
-         suicide." *)
-      leave t Declared_crashed
-    else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
-    then
-      (* Primary-partition discipline: in a multi-process group a view that
-         degenerates to {self} is indistinguishable from being partitioned
-         away from a surviving majority, so the process departs instead of
-         coordinating a group nobody else belongs to. *)
-      leave t Partitioned
-    else if d.Decision.full_group then begin
-      purge_history t d;
-      purge_orphans t d
-    end
-    else []
+    let actions =
+      if not d.Decision.alive.(Net.Node_id.to_int t.id) then
+        (* "When an alive process notices it is supposed dead, it commits
+           suicide." *)
+        leave t Declared_crashed
+      else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
+      then
+        (* Primary-partition discipline: in a multi-process group a view that
+           degenerates to {self} is indistinguishable from being partitioned
+           away from a surviving majority, so the process departs instead of
+           coordinating a group nobody else belongs to. *)
+        leave t Partitioned
+      else if d.Decision.full_group then begin
+        purge_history t d;
+        purge_orphans t d
+      end
+      else []
+    in
+    if !Sim.Prof.on then Sim.Prof.exit ();
+    actions
   end
 
 (* -- recovery ---------------------------------------------------------- *)
@@ -330,11 +347,13 @@ let mid_subrun t ~subrun =
           let requests = t.pending_requests in
           t.pending_requests <- [];
           t.coordinator_for <- None;
+          if !Sim.Prof.on then Sim.Prof.enter "member.aggregate";
           let prev = Coordinator.merge_prev t.decision requests in
           let d =
             Coordinator.compute ~config:t.config ~subrun ~coordinator:t.id
               ~prev ~requests
           in
+          if !Sim.Prof.on then Sim.Prof.exit ();
           let evidence =
             List.exists
               (fun (r : Wire.request) ->

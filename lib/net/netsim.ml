@@ -85,19 +85,24 @@ let filtered_out t packet =
   match t.filter with None -> false | Some keep -> not (keep packet)
 
 let send t ~src ~dst ~kind ~size payload =
+  if !Sim.Prof.on then Sim.Prof.enter "net.send";
   Traffic.record t.traffic ~kind ~size;
   let now = Sim.Engine.now t.engine in
   let packet = { src; dst; kind; size; payload } in
   (* Deliberately an if/else-if chain, not a match on a tuple: the fault
      checks draw from the RNG, and the original short-circuit order
-     (send, then link, then filter) is part of the determinism contract. *)
+     (send, then link, then filter) is part of the determinism contract.
+     The profiling probes never touch the RNG. *)
   if Fault.drop_on_send t.fault ~now src then drop t packet Sim.Trace.On_send
   else if Fault.drop_on_link t.fault then drop t packet Sim.Trace.On_link
   else if filtered_out t packet then drop t packet Sim.Trace.On_filter
   else begin
     let delay = one_way_delay t in
-    ignore (Sim.Engine.schedule_after t.engine ~delay (fun () -> deliver t packet))
-  end
+    ignore
+      (Sim.Engine.schedule_after ~label:"net.deliver" t.engine ~delay (fun () ->
+           deliver t packet))
+  end;
+  if !Sim.Prof.on then Sim.Prof.exit ()
 
 let multicast t ~src ~dsts ~kind ~size payload =
   List.iter (fun dst -> send t ~src ~dst ~kind ~size payload) dsts

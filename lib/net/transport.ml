@@ -182,7 +182,8 @@ let transmit t pending ~first =
 
 let rec arm_retry t pending =
   ignore
-    (Sim.Engine.schedule_after (Netsim.engine t.net) ~delay:t.retry_interval
+    (Sim.Engine.schedule_after ~label:"net.retry" (Netsim.engine t.net)
+       ~delay:t.retry_interval
        (fun () ->
          if not pending.confirmed then
            if pending.retries_left > 0 then begin

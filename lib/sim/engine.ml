@@ -1,4 +1,8 @@
-type event = { mutable cancelled : bool; callback : unit -> unit }
+type event = {
+  mutable cancelled : bool;
+  label : string;
+  callback : unit -> unit;
+}
 
 type handle = event
 
@@ -16,16 +20,16 @@ let now t = t.now
 
 let pending t = Heap.length t.queue
 
-let schedule t ~at callback =
+let schedule ?(label = "event") t ~at callback =
   if Ticks.compare at t.now < 0 then
     invalid_arg "Engine.schedule: event in the past";
-  let event = { cancelled = false; callback } in
+  let event = { cancelled = false; label; callback } in
   Heap.push t.queue ~time:at ~seq:t.next_seq event;
   t.next_seq <- t.next_seq + 1;
   event
 
-let schedule_after t ~delay callback =
-  schedule t ~at:(Ticks.add t.now delay) callback
+let schedule_after ?label t ~delay callback =
+  schedule ?label t ~at:(Ticks.add t.now delay) callback
 
 let cancel event = event.cancelled <- true
 
@@ -34,7 +38,16 @@ let step t =
   | None -> false
   | Some (time, _seq, event) ->
       t.now <- time;
-      if not event.cancelled then event.callback ();
+      if not event.cancelled then
+        if !Prof.on then begin
+          Prof.enter event.label;
+          (try event.callback ()
+           with e ->
+             Prof.exit ();
+             raise e);
+          Prof.exit ()
+        end
+        else event.callback ();
       true
 
 let run ?until t =

@@ -16,10 +16,14 @@ val now : t -> Ticks.t
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet popped). *)
 
-val schedule : t -> at:Ticks.t -> (unit -> unit) -> handle
-(** Raises [Invalid_argument] if [at] is in the past. *)
+val schedule : ?label:string -> t -> at:Ticks.t -> (unit -> unit) -> handle
+(** Raises [Invalid_argument] if [at] is in the past.  [label] (default
+    ["event"]) names the event class for profiling: when [Prof] is
+    enabled, {!step} runs the callback inside a span of that name, so
+    dispatch cost is attributed per event class.  Labels do not affect
+    scheduling order or any simulation output. *)
 
-val schedule_after : t -> delay:Ticks.t -> (unit -> unit) -> handle
+val schedule_after : ?label:string -> t -> delay:Ticks.t -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
 (** Cancelling an already-fired or cancelled event is a no-op. *)

@@ -20,6 +20,32 @@ val default_jobs : unit -> int
 (** The detected core count ([Domain.recommended_domain_count ()]), or [1]
     on the sequential backend. *)
 
+type domain_stat = Pool_backend.domain_stat = {
+  tasks : int;  (** tasks this worker executed *)
+  steals : int;  (** work-counter fetches that found no task left *)
+  busy_ns : float;  (** wall-clock spent inside task bodies *)
+  idle_ns : float;  (** worker lifetime minus [busy_ns] *)
+}
+
+val reset_stats : unit -> unit
+(** Zero the cross-call per-domain accumulator. *)
+
+val stats : unit -> domain_stat array
+(** Per-worker-slot totals accumulated over every {!map} since
+    {!reset_stats} (or program start).  Index 0 is the calling domain;
+    the array is as long as the widest crew seen.  The inline [jobs <= 1]
+    path contributes to slot 0 with zero steals and zero idle.  Safe to
+    read between {!map} calls only — workers write their own slot and the
+    caller folds after the joins, so nothing here is cross-domain. *)
+
+val record_metrics : Metrics.t -> unit
+(** Increment [pool.d<i>.tasks] / [pool.d<i>.steals] / [pool.d<i>.busy_ns]
+    / [pool.d<i>.idle_ns] counters from the current accumulator, one set
+    per worker slot.  Times are truncated to integer nanoseconds.  Note
+    these values are wall-clock-dependent: record them into a registry
+    that is reported to a human (stderr, bench output), never into one
+    embedded in a byte-compared report. *)
+
 val map : jobs:int -> (int -> 'a) -> int -> 'a array
 (** [map ~jobs f tasks] evaluates [f] at each index in [[0, tasks)] with up
     to [jobs] workers and returns the results in index order.

@@ -1,12 +1,21 @@
 (** Backend behind [Sim.Pool], selected at build time by a dune rule on the
     compiler version: [pool_backend_domains.ml] on OCaml >= 5.0,
     [pool_backend_seq.ml] otherwise.  Both satisfy this interface; [Pool]
-    adds argument validation and job-count normalization on top. *)
+    adds argument validation, job-count normalization, and cross-call stat
+    accumulation on top. *)
+
+type domain_stat = {
+  tasks : int;  (** tasks this worker executed *)
+  steals : int;  (** work-counter fetches that found no task left *)
+  busy_ns : float;  (** wall-clock spent inside task bodies *)
+  idle_ns : float;  (** worker lifetime minus [busy_ns] *)
+}
 
 val available : bool
 
 val default_jobs : unit -> int
 
-val map : jobs:int -> (int -> 'a) -> int -> 'a array
+val map : jobs:int -> (int -> 'a) -> int -> 'a array * domain_stat array
 (** Precondition (enforced by [Pool.map]): [tasks > 0] and
-    [2 <= jobs <= tasks]. *)
+    [2 <= jobs <= tasks].  The returned stats have one entry per worker;
+    index 0 is the calling domain. *)

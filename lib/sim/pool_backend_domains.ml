@@ -3,7 +3,19 @@
    shared atomic counter and writes results into a slot array.  Reads of
    the slots happen only after every worker has been joined, so the
    publication is ordered by the join; no per-slot synchronization is
-   needed because each index is claimed by exactly one worker. *)
+   needed because each index is claimed by exactly one worker.
+
+   Each worker also keeps a private tally — tasks run, empty counter
+   fetches (the closest thing this scheduler has to a failed steal), and
+   busy/idle wall-clock — written into its own slot of a stats array and
+   read only after the joins, under the same publication argument. *)
+
+type domain_stat = {
+  tasks : int;
+  steals : int;
+  busy_ns : float;
+  idle_ns : float;
+}
 
 let available = true
 
@@ -11,29 +23,50 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let map ~jobs f tasks =
   let results = Array.make tasks None in
+  let stats =
+    Array.make jobs { tasks = 0; steals = 0; busy_ns = 0.; idle_ns = 0. }
+  in
   let next = Atomic.make 0 in
   let failure = Atomic.make None in
-  let worker () =
+  let worker slot () =
+    let start = Unix.gettimeofday () in
+    let ran = ref 0 in
+    let empty = ref 0 in
+    let busy = ref 0. in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < tasks && Atomic.get failure = None then begin
+      if i >= tasks then incr empty
+      else if Atomic.get failure = None then begin
+        let t0 = Unix.gettimeofday () in
         (match f i with
         | v -> results.(i) <- Some v
         | exception e ->
             (* First failure wins; the rest of the crew drains out at the
                next counter check instead of starting new tasks. *)
             ignore (Atomic.compare_and_set failure None (Some e)));
+        busy := !busy +. ((Unix.gettimeofday () -. t0) *. 1e9);
+        incr ran;
         loop ()
       end
     in
-    loop ()
+    loop ();
+    let wall = (Unix.gettimeofday () -. start) *. 1e9 in
+    stats.(slot) <-
+      {
+        tasks = !ran;
+        steals = !empty;
+        busy_ns = !busy;
+        idle_ns = Float.max 0. (wall -. !busy);
+      }
   in
-  let crew = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let crew = Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
   Array.iter Domain.join crew;
   match Atomic.get failure with
   | Some e -> raise e
   | None ->
-      Array.map
-        (function Some v -> v | None -> assert false (* every index claimed *))
-        results
+      ( Array.map
+          (function
+            | Some v -> v | None -> assert false (* every index claimed *))
+          results,
+        stats )

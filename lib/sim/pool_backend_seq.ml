@@ -1,15 +1,26 @@
 (* Sequential stand-in for runtimes without domains (OCaml 4.14): the same
    interface as the domains backend, evaluated in index order on the
-   calling thread.  Exceptions propagate directly from the failing task. *)
+   calling thread.  Exceptions propagate directly from the failing task.
+   The single stat entry tallies everything under worker 0 with no idle
+   time and no steal attempts — there is no one to steal from. *)
+
+type domain_stat = {
+  tasks : int;
+  steals : int;
+  busy_ns : float;
+  idle_ns : float;
+}
 
 let available = false
 
 let default_jobs () = 1
 
 let map ~jobs:_ f tasks =
+  let t0 = Unix.gettimeofday () in
   let first = f 0 in
   let results = Array.make tasks first in
   for i = 1 to tasks - 1 do
     results.(i) <- f i
   done;
-  results
+  let busy = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (results, [| { tasks; steals = 0; busy_ns = busy; idle_ns = 0. } |])

@@ -382,12 +382,17 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
     ?(with_analysis = false) ?(jobs = 1) ~budget ~seed () =
   if budget < 0 then invalid_arg "Campaign.run: negative budget";
   if jobs < 0 then invalid_arg "Campaign.run: negative job count";
+  (* The span profiler is one global tree: worker domains would race on it.
+     Profiled campaigns therefore run sequentially — the cost attribution
+     is per-phase, not per-core, so nothing is lost but wall-clock. *)
+  let jobs = if Sim.Prof.enabled () then 1 else jobs in
   (* Phase 1 — sequential spec generation.  The single [generate] stream is
      part of the determinism contract: spec [i] must be the [i]-th draw from
      the campaign seed's splitmix64 stream no matter how many workers later
      execute the runs, so this pass never moves into the parallel region. *)
   let rng = Sim.Rng.create ~seed in
   let specs =
+    Sim.Prof.span "campaign.gen" @@ fun () ->
     if budget = 0 then [||]
     else begin
       let first = generate ~over_budget rng in
@@ -404,8 +409,10 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
      worker), so results merged back in index order are byte-identical to a
      sequential sweep at any job count. *)
   let executed =
+    Sim.Prof.span "campaign.run" @@ fun () ->
     Sim.Pool.map ~jobs
       (fun index ->
+        if !Sim.Prof.on then Sim.Prof.enter "run";
         let spec = specs.(index) in
         let run_seed = Sim.Rng.derive ~seed index in
         (* A fresh registry per run, read out before the record is built —
@@ -421,7 +428,7 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
             (fun t -> Sim.Analysis.analyze ~n:spec.n (Sim.Trace.records t))
             tracer
         in
-        {
+        let result = {
           index;
           seed = run_seed;
           spec;
@@ -439,13 +446,16 @@ let run ?(over_budget = false) ?(shrink_failures = true) ?(with_metrics = false)
               (fun a ->
                 Analyzer.agrees report.Runner.verdict a.Sim.Analysis.verdict)
               analysis;
-        })
+        } in
+        if !Sim.Prof.on then Sim.Prof.exit ();
+        result)
       budget
   in
   (* Phase 3 — shrink failures in index order.  Kept outside the parallel
      region so worker domains never nest; the parallelism inside a shrink
      is the speculative per-round candidate evaluation in {!shrink}. *)
   let runs =
+    Sim.Prof.span "campaign.shrink" @@ fun () ->
     Array.to_list executed
     |> List.map (fun r ->
            if r.outcome.ok || not shrink_failures then r

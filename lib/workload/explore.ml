@@ -155,6 +155,7 @@ let tick_of_round r = Sim.Ticks.mul Sim.Ticks.round r
 
 let run_schedule c ctx =
   validate c;
+  if !Sim.Prof.on then Sim.Prof.enter "schedule";
   let n = c.n in
   let window_rounds = 2 * c.window_subruns in
   (* -- upfront choices: crash timing, omission placement, silencing ---- *)
@@ -426,21 +427,25 @@ let run_schedule c ctx =
         if agrees then []
         else [ "oracle: trace oracle disagrees with the live checker" ] )
   in
-  {
-    violations =
-      verdict.Checker.violations @ List.rev !liveness
-      @ oracle_violations;
-    generated;
-    delivered_remote;
-    rounds = !rounds;
-    departures =
-      List.map
-        (fun { Urcgc.Cluster.who; why; _ } ->
-          (Net.Node_id.to_int who, Urcgc.Member.reason_to_string why))
-        (Urcgc.Cluster.departures cluster);
-    oracle_agrees;
-    cascade_capped = !cascade_capped;
-  }
+  let result =
+    {
+      violations =
+        verdict.Checker.violations @ List.rev !liveness
+        @ oracle_violations;
+      generated;
+      delivered_remote;
+      rounds = !rounds;
+      departures =
+        List.map
+          (fun { Urcgc.Cluster.who; why; _ } ->
+            (Net.Node_id.to_int who, Urcgc.Member.reason_to_string why))
+          (Urcgc.Cluster.departures cluster);
+      oracle_agrees;
+      cascade_capped = !cascade_capped;
+    }
+  in
+  if !Sim.Prof.on then Sim.Prof.exit ();
+  result
 
 (* -- the driver -------------------------------------------------------- *)
 
@@ -471,7 +476,9 @@ let explore ?(prune = true) ?(max_schedules = 200_000) c =
   let oracle_checked = ref 0 in
   let oracle_disagreements = ref 0 in
   let stats =
-    Sim.Explore.explore ~prune ~max_schedules (run_schedule c)
+    Sim.Prof.span "explore" @@ fun () ->
+    let stats =
+      Sim.Explore.explore ~prune ~max_schedules (run_schedule c)
       ~on_schedule:(fun ~schedule result ->
         if result.violations <> [] then begin
           incr with_violations;
@@ -488,6 +495,12 @@ let explore ?(prune = true) ?(max_schedules = 200_000) c =
             incr oracle_checked;
             if not agrees then incr oracle_disagreements
         | None -> ())
+    in
+    (* Deterministic attribution: how much of the choice tree the DPOR
+       pruning rule cut, next to the time the survivors cost. *)
+    Sim.Prof.count ~by:stats.Sim.Explore.explored "schedules_explored";
+    Sim.Prof.count ~by:stats.Sim.Explore.pruned "pruned_branches";
+    stats
   in
   {
     config = c;

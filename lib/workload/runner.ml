@@ -61,6 +61,7 @@ let make_injector (scenario : Scenario.t) cluster rng =
         Some !deps
   in
   let inject ~round:_ =
+    if !Sim.Prof.on then Sim.Prof.enter "runner.inject";
     List.iter
       (fun node ->
         if (not (cap_reached ())) && Sim.Rng.bool rng load.Load.rate then begin
@@ -71,7 +72,8 @@ let make_injector (scenario : Scenario.t) cluster rng =
               cluster node !produced
           end
         end)
-      senders
+      senders;
+    if !Sim.Prof.on then Sim.Prof.exit ()
   in
   (inject, cap_reached, produced)
 
@@ -148,6 +150,7 @@ let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
   let history_peak = ref 0 in
   let waiting_peak = ref 0 in
   Urcgc.Cluster.on_round cluster (fun ~round ->
+      if !Sim.Prof.on then Sim.Prof.enter "runner.sample";
       let history_max = ref 0 and waiting_max = ref 0 in
       List.iter
         (fun member ->
@@ -166,7 +169,8 @@ let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
           (float_of_int !history_max);
         Sim.Metrics.observe metrics "waiting.depth_per_round"
           (float_of_int !waiting_max)
-      end);
+      end;
+      if !Sim.Prof.on then Sim.Prof.exit ());
   Urcgc.Cluster.start cluster;
   (* Advance one rtd at a time until the workload is exhausted and the group
      is quiescent, or the time cap is hit. *)
@@ -183,8 +187,11 @@ let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
       else advance ()
     end
   in
+  if !Sim.Prof.on then Sim.Prof.enter "runner.run";
   advance ();
+  if !Sim.Prof.on then Sim.Prof.exit ();
   (* Reduce the event log to the report. *)
+  if !Sim.Prof.on then Sim.Prof.enter "runner.reduce";
   let generations = Urcgc.Cluster.generations cluster in
   let sent_at =
     List.fold_left
@@ -238,7 +245,7 @@ let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
     Sim.Metrics.incr metrics ~by:(net_fragments ()) "net.fragments_sent";
     List.iter (Sim.Metrics.observe metrics "delivery.latency_rtd") delays
   end;
-  {
+  let report = {
     scenario;
     generated = List.length generations;
     delivered_remote = List.length remote;
@@ -260,7 +267,9 @@ let run ?tracer ?(metrics = Sim.Metrics.null) (scenario : Scenario.t) =
     discarded;
     fragments;
     verdict = Checker.check cluster;
-  }
+  } in
+  if !Sim.Prof.on then Sim.Prof.exit ();
+  report
 
 let control_msgs_per_subrun report =
   if report.subruns = 0 then 0.0

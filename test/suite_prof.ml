@@ -1,0 +1,263 @@
+(* Sim.Prof unit tests plus the non-interference contract on the built
+   binary: enabling --profile must not change a single byte of any
+   simulation output (campaign/explore JSON, trace JSONL), and the
+   structural report for a fixed-seed campaign must be byte-stable —
+   pinned against a committed expectation that CI also compares across
+   compiler versions. *)
+
+let exe = Filename.concat Filename.parent_dir_name "bin/urcgc_sim.exe"
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" exe args)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_file f =
+  let path = Filename.temp_file "urcgc_prof" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".structural"; path ^ ".folded" ])
+    (fun () -> f path)
+
+let rec find_span name (s : Sim.Prof.stat) =
+  if s.Sim.Prof.name = name then Some s
+  else List.find_map (find_span name) s.Sim.Prof.children
+
+(* -- unit tests on the profiler itself ---------------------------------- *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "disabled probes are no-ops" `Quick (fun () ->
+        Alcotest.(check bool) "off by default" false (Sim.Prof.enabled ());
+        (* None of these may raise or leave state behind while disabled. *)
+        Sim.Prof.enter "ghost";
+        Sim.Prof.exit ();
+        Sim.Prof.exit ();
+        Sim.Prof.count ~by:7 "ghost_counter";
+        Alcotest.(check int) "span passes value through" 3
+          (Sim.Prof.span "ghost" (fun () -> 3));
+        Alcotest.check_raises "capture without enable"
+          (Invalid_argument "Prof.capture: profiler is not enabled") (fun () ->
+            ignore (Sim.Prof.capture ())));
+    Alcotest.test_case "nesting builds the tree, counts accumulate" `Quick
+      (fun () ->
+        Sim.Prof.enable ();
+        for _ = 1 to 3 do
+          Sim.Prof.enter "outer";
+          Sim.Prof.enter "inner";
+          Sim.Prof.exit ();
+          Sim.Prof.enter "inner";
+          Sim.Prof.exit ();
+          Sim.Prof.exit ()
+        done;
+        let report = Sim.Prof.capture () in
+        Alcotest.(check bool) "capture disables" false (Sim.Prof.enabled ());
+        let root = Sim.Prof.root report in
+        Alcotest.(check string) "root name" "root" root.Sim.Prof.name;
+        let outer =
+          match find_span "outer" root with
+          | Some s -> s
+          | None -> Alcotest.fail "outer span missing"
+        in
+        let inner =
+          match find_span "inner" outer with
+          | Some s -> s
+          | None -> Alcotest.fail "inner span missing"
+        in
+        Alcotest.(check int) "outer count" 3 outer.Sim.Prof.count;
+        Alcotest.(check int) "inner count" 6 inner.Sim.Prof.count;
+        Alcotest.(check int) "inner latency samples" 6
+          inner.Sim.Prof.latency.Stats.Summary.count;
+        Alcotest.(check bool) "self <= total" true
+          (outer.Sim.Prof.self_ns <= outer.Sim.Prof.total_ns +. 1e-6);
+        Alcotest.(check bool) "coverage within [0, 1]" true
+          (let c = Sim.Prof.coverage report in
+           c >= 0.0 && c <= 1.0));
+    Alcotest.test_case "same name under one parent shares a node" `Quick
+      (fun () ->
+        Sim.Prof.enable ();
+        Sim.Prof.span "phase" (fun () -> ());
+        Sim.Prof.span "phase" (fun () -> ());
+        let report = Sim.Prof.capture () in
+        let root = Sim.Prof.root report in
+        Alcotest.(check int) "one child" 1
+          (List.length root.Sim.Prof.children);
+        Alcotest.(check int) "merged count" 2
+          (List.hd root.Sim.Prof.children).Sim.Prof.count);
+    Alcotest.test_case "unbalanced probes raise" `Quick (fun () ->
+        Sim.Prof.enable ();
+        Sim.Prof.enter "left_open";
+        Alcotest.check_raises "capture names the open span"
+          (Invalid_argument
+             "Prof.capture: unbalanced spans still open: root > left_open")
+          (fun () -> ignore (Sim.Prof.capture ()));
+        Sim.Prof.disable ();
+        Sim.Prof.enable ();
+        Alcotest.check_raises "exit with only the root open"
+          (Invalid_argument "Prof.exit: no open span (unbalanced probe)")
+          (fun () -> Sim.Prof.exit ());
+        Sim.Prof.disable ());
+    Alcotest.test_case "span closes on exception" `Quick (fun () ->
+        Sim.Prof.enable ();
+        (try Sim.Prof.span "boom" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        (* The span must have been closed: capture succeeds. *)
+        let report = Sim.Prof.capture () in
+        Alcotest.(check bool) "boom recorded" true
+          (find_span "boom" (Sim.Prof.root report) <> None));
+    Alcotest.test_case "counters attach to the current span, sorted" `Quick
+      (fun () ->
+        Sim.Prof.enable ();
+        Sim.Prof.span "work" (fun () ->
+            Sim.Prof.count "zeta";
+            Sim.Prof.count ~by:4 "alpha";
+            Sim.Prof.count ~by:2 "zeta");
+        let report = Sim.Prof.capture () in
+        let work =
+          match find_span "work" (Sim.Prof.root report) with
+          | Some s -> s
+          | None -> Alcotest.fail "work span missing"
+        in
+        Alcotest.(check (list (pair string int)))
+          "sorted counters"
+          [ ("alpha", 4); ("zeta", 3) ]
+          work.Sim.Prof.counters);
+    Alcotest.test_case "exports carry the schemas and folded stacks" `Quick
+      (fun () ->
+        Sim.Prof.enable ();
+        Sim.Prof.span "a" (fun () -> Sim.Prof.span "b" (fun () -> ()));
+        let report = Sim.Prof.capture () in
+        let json = Sim.Prof.report_json report in
+        let structural = Sim.Prof.structural_json report in
+        Alcotest.(check bool) "report schema" true
+          (Astring_contains.contains json {|"schema":"urcgc.prof/1"|});
+        Alcotest.(check bool) "structural schema" true
+          (Astring_contains.contains structural
+             {|"schema":"urcgc.prof.structural/1"|});
+        Alcotest.(check bool) "structural has no times" true
+          (not (Astring_contains.contains structural "ns"));
+        (match Sim.Json.parse json with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail ("report_json unparsable: " ^ e));
+        let folded = Sim.Prof.folded report in
+        Alcotest.(check bool) "nested path present" true
+          (Astring_contains.contains folded "root;a;b ");
+        String.split_on_char '\n' folded
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (fun line ->
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.fail ("folded line has no value: " ^ line)
+               | Some i ->
+                   let v =
+                     String.sub line (i + 1) (String.length line - i - 1)
+                   in
+                   Alcotest.(check bool)
+                     ("integer self-ns in " ^ line)
+                     true
+                     (int_of_string_opt v <> None)));
+  ]
+
+(* -- non-interference on the built binary -------------------------------- *)
+
+let profile_cli_tests =
+  [
+    Alcotest.test_case "campaign JSON is byte-identical with --profile" `Slow
+      (fun () ->
+        with_temp_file (fun plain ->
+            with_temp_file (fun profiled ->
+                with_temp_file (fun prof ->
+                    Alcotest.(check int) "plain run" 0
+                      (run_cli
+                         (Printf.sprintf
+                            "campaign --budget 5 --seed 1 --out %s"
+                            (Filename.quote plain)));
+                    Alcotest.(check int) "profiled run" 0
+                      (run_cli
+                         (Printf.sprintf
+                            "campaign --budget 5 --seed 1 --out %s --profile \
+                             %s"
+                            (Filename.quote profiled) (Filename.quote prof)));
+                    Alcotest.(check string) "campaign JSON unchanged"
+                      (read_file plain) (read_file profiled);
+                    let report = read_file prof in
+                    Alcotest.(check bool) "profile report written" true
+                      (Astring_contains.contains report
+                         {|"schema":"urcgc.prof/1"|});
+                    Alcotest.(check bool) "campaign spans present" true
+                      (Astring_contains.contains report {|"campaign.run"|})))));
+    Alcotest.test_case "explore JSON is byte-identical with --profile" `Slow
+      (fun () ->
+        with_temp_file (fun plain ->
+            with_temp_file (fun profiled ->
+                with_temp_file (fun prof ->
+                    let base = "explore -n 3 --messages 2 --max-schedules 200" in
+                    Alcotest.(check int) "plain run" 0
+                      (run_cli
+                         (Printf.sprintf "%s --out %s" base
+                            (Filename.quote plain)));
+                    Alcotest.(check int) "profiled run" 0
+                      (run_cli
+                         (Printf.sprintf "%s --out %s --profile %s" base
+                            (Filename.quote profiled) (Filename.quote prof)));
+                    Alcotest.(check string) "explore JSON unchanged"
+                      (read_file plain) (read_file profiled);
+                    Alcotest.(check bool) "pruning counter attributed" true
+                      (Astring_contains.contains (read_file prof)
+                         {|"schedules_explored"|})))));
+    Alcotest.test_case "trace JSONL is byte-identical with --profile" `Slow
+      (fun () ->
+        with_temp_file (fun plain ->
+            with_temp_file (fun profiled ->
+                with_temp_file (fun prof ->
+                    let base =
+                      "trace -n 4 -K 2 --rate 1 --messages 3 --seed 5 \
+                       --max-rtd 30"
+                    in
+                    Alcotest.(check int) "plain run" 0
+                      (run_cli
+                         (Printf.sprintf "%s --out %s" base
+                            (Filename.quote plain)));
+                    Alcotest.(check int) "profiled run" 0
+                      (run_cli
+                         (Printf.sprintf "%s --out %s --profile %s" base
+                            (Filename.quote profiled) (Filename.quote prof)));
+                    Alcotest.(check string) "trace JSONL unchanged"
+                      (read_file plain) (read_file profiled)))));
+    Alcotest.test_case
+      "structural report matches the committed expectation" `Slow (fun () ->
+        with_temp_file (fun out ->
+            with_temp_file (fun prof ->
+                Alcotest.(check int) "profiled campaign" 0
+                  (run_cli
+                     (Printf.sprintf
+                        "campaign --budget 5 --seed 1 --out %s --profile %s"
+                        (Filename.quote out) (Filename.quote prof)));
+                Alcotest.(check string) "structural report pinned"
+                  (read_file
+                     (Filename.concat "expect"
+                        "profile_campaign_structural.json"))
+                  (read_file (prof ^ ".structural")))));
+    Alcotest.test_case "profiled campaign run is self-consistent" `Slow
+      (fun () ->
+        with_temp_file (fun out ->
+            with_temp_file (fun prof ->
+                Alcotest.(check int) "profiled campaign" 0
+                  (run_cli
+                     (Printf.sprintf
+                        "campaign --budget 5 --seed 1 --out %s --profile %s"
+                        (Filename.quote out) (Filename.quote prof)));
+                let folded = read_file (prof ^ ".folded") in
+                Alcotest.(check bool) "folded stacks non-empty" true
+                  (String.length folded > 0);
+                Alcotest.(check bool) "member spans in folded output" true
+                  (Astring_contains.contains folded "member."))));
+  ]
+
+let suite =
+  [ ("prof.unit", unit_tests); ("prof.cli", profile_cli_tests) ]

@@ -30,6 +30,49 @@ let summary_tests =
     Alcotest.test_case "of_ints" `Quick (fun () ->
         let s = Stats.Summary.of_ints [ 1; 2; 3 ] in
         Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.Summary.mean);
+    Alcotest.test_case "single sample pins every percentile" `Quick (fun () ->
+        let s = Stats.Summary.of_list [ 42.0 ] in
+        Alcotest.(check (float 1e-9)) "p50" 42.0 s.Stats.Summary.p50;
+        Alcotest.(check (float 1e-9)) "p95" 42.0 s.Stats.Summary.p95;
+        Alcotest.(check (float 1e-9)) "p99" 42.0 s.Stats.Summary.p99;
+        Alcotest.(check (float 1e-9)) "min" 42.0 s.Stats.Summary.min;
+        Alcotest.(check (float 1e-9)) "max" 42.0 s.Stats.Summary.max);
+    Alcotest.test_case "all-ties sample collapses to the tied value" `Quick
+      (fun () ->
+        let s = Stats.Summary.of_list [ 7.0; 7.0; 7.0; 7.0; 7.0 ] in
+        Alcotest.(check (float 1e-9)) "p50" 7.0 s.Stats.Summary.p50;
+        Alcotest.(check (float 1e-9)) "p95" 7.0 s.Stats.Summary.p95;
+        Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Stats.Summary.stddev);
+  ]
+
+(* Properties the percentile estimator must satisfy on any sample: results
+   stay inside [min, max], q is monotone, and a constant sample is a fixed
+   point regardless of q or length. *)
+let percentile_properties =
+  let nonempty =
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 1e6))
+  in
+  let quantile = QCheck.float_range 0.0 1.0 in
+  [
+    QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:300
+      QCheck.(pair nonempty quantile)
+      (fun (xs, q) ->
+        let sorted = Array.of_list (List.sort compare xs) in
+        let p = Stats.Summary.percentile sorted q in
+        p >= sorted.(0) && p <= sorted.(Array.length sorted - 1));
+    QCheck.Test.make ~name:"percentile is monotone in q" ~count:300
+      QCheck.(triple nonempty quantile quantile)
+      (fun (xs, qa, qb) ->
+        let sorted = Array.of_list (List.sort compare xs) in
+        let lo = Float.min qa qb and hi = Float.max qa qb in
+        Stats.Summary.percentile sorted lo
+        <= Stats.Summary.percentile sorted hi);
+    QCheck.Test.make ~name:"constant samples are a percentile fixed point"
+      ~count:300
+      QCheck.(triple (int_range 1 50) (float_range 0.0 1e6) quantile)
+      (fun (len, v, q) ->
+        let sorted = Array.make len v in
+        Float.abs (Stats.Summary.percentile sorted q -. v) <= 1e-9);
   ]
 
 let series_tests =
@@ -150,7 +193,9 @@ let analytic_tests =
 
 let suite =
   [
-    ("stats.summary", summary_tests);
+    ( "stats.summary",
+      summary_tests
+      @ List.map QCheck_alcotest.to_alcotest percentile_properties );
     ("stats.series", series_tests);
     ("stats.table", table_tests);
     ("stats.analytic", analytic_tests);
