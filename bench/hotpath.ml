@@ -178,6 +178,8 @@ let run_all ~quick =
     m ~name:"subrun_n15" ~ops:15 (subrun ~n:15);
     m ~name:"subrun_n40" ~ops:40 (subrun ~n:40);
     m ~name:"subrun_n128" ~ops:128 (subrun ~n:128);
+    m ~name:"subrun_n256" ~ops:256 (subrun ~n:256);
+    m ~name:"subrun_n512" ~ops:512 (subrun ~n:512);
   ]
 
 (* -- JSON export and baseline check ------------------------------------- *)
@@ -203,6 +205,11 @@ let baseline_ns path =
   let len = in_channel_length ic in
   let raw = really_input_string ic len in
   close_in ic;
+  let number = function
+    | Some (Sim.Json.Int v) -> Some (float_of_int v)
+    | Some (Sim.Json.Float v) -> Some v
+    | Some _ | None -> None
+  in
   match Sim.Json.parse raw with
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
   | Ok json -> (
@@ -210,12 +217,10 @@ let baseline_ns path =
       | Some (Sim.Json.List rows) ->
           let entry row =
             match
-              (Sim.Json.member "name" row, Sim.Json.member "ns_per_op" row)
+              (Sim.Json.member "name" row, number (Sim.Json.member "ns_per_op" row))
             with
-            | Some (Sim.Json.Str name), Some (Sim.Json.Int ns) ->
-                Some (name, float_of_int ns)
-            | Some (Sim.Json.Str name), Some (Sim.Json.Float ns) ->
-                Some (name, ns)
+            | Some (Sim.Json.Str name), Some ns ->
+                Some (name, (ns, number (Sim.Json.member "minor_words_per_op" row)))
             | _ -> None
           in
           Ok (List.filter_map entry rows)
@@ -228,27 +233,75 @@ let check_against ~path ~baseline samples =
       false
   | Ok baseline ->
       let tolerance = 5.0 in
+      (* Allocation per op is near-deterministic (no scheduler in the loop),
+         so the minor-words gate is much tighter than the wall-clock one:
+         it exists to catch a reintroduced per-message list or closure, not
+         noise.  A small absolute slack absorbs GC-stat granularity on the
+         scenarios that allocate almost nothing. *)
+      let mw_tolerance = 1.5 in
+      let mw_slack = 32.0 in
       let failures =
-        List.filter_map
+        List.concat_map
           (fun s ->
             match List.assoc_opt s.name baseline with
-            | None -> None
-            | Some base when s.ns_per_op <= tolerance *. base -> None
-            | Some base -> Some (s.name, base, s.ns_per_op))
+            | None -> []
+            | Some (base_ns, base_mw) ->
+                let time =
+                  if s.ns_per_op <= tolerance *. base_ns then []
+                  else
+                    [
+                      Printf.sprintf
+                        "%s: %.0f ns/op vs baseline %.0f ns/op (> %.0fx)"
+                        s.name s.ns_per_op base_ns tolerance;
+                    ]
+                in
+                let words =
+                  match base_mw with
+                  | None -> []
+                  | Some base_mw
+                    when s.minor_words_per_op
+                         <= (mw_tolerance *. base_mw) +. mw_slack ->
+                      []
+                  | Some base_mw ->
+                      [
+                        Printf.sprintf
+                          "%s: %.0f mw/op vs baseline %.0f mw/op (> %.1fx + \
+                           %.0f)"
+                          s.name s.minor_words_per_op base_mw mw_tolerance
+                          mw_slack;
+                      ]
+                in
+                time @ words)
           samples
       in
-      List.iter
-        (fun (name, base, got) ->
-          Format.printf
-            "  REGRESSION %s: %.0f ns/op vs baseline %.0f ns/op (> %.0fx)@."
-            name got base tolerance)
-        failures;
+      List.iter (fun line -> Format.printf "  REGRESSION %s@." line) failures;
       if failures = [] then
-        Format.printf "  baseline check: all ops within %.0fx of %s@." tolerance
-          path;
+        Format.printf
+          "  baseline check: all ops within %.0fx time and %.1fx allocation \
+           of %s@."
+          tolerance mw_tolerance path;
       failures = []
 
-let run ?(quick = false) ?out ?check () =
+(* One profiled n=128 subrun: span-level time/allocation attribution of the
+   end-to-end scenario the `subrun_*` rows measure.  Writes the canonical
+   JSON report plus `.structural` and `.folded` siblings, exactly like the
+   CLI's --profile. *)
+let write_profile path =
+  Sim.Prof.enable ();
+  subrun ~n:128 ();
+  let report = Sim.Prof.capture () in
+  let write_file p contents =
+    let oc = open_out_bin p in
+    output_string oc contents;
+    close_out oc
+  in
+  write_file path (Sim.Prof.report_json report);
+  write_file (path ^ ".structural") (Sim.Prof.structural_json report);
+  write_file (path ^ ".folded") (Sim.Prof.folded report);
+  Format.printf "  wrote %s (+ .structural, .folded)@." path;
+  Format.eprintf "%a@." Sim.Prof.pp_summary report
+
+let run ?(quick = false) ?out ?check ?profile () =
   Format.printf "@.== Hot-path benchmarks (delivery-critical structures) ==@.@.";
   if quick then Format.printf "  (quick mode: 2 repetitions per benchmark)@.";
   (* Read the committed baseline up front: `--out` may overwrite the same
@@ -269,6 +322,7 @@ let run ?(quick = false) ?out ?check () =
       output_string oc (json_of_samples ~quick samples);
       close_out oc;
       Format.printf "  wrote %s@." path);
+  Option.iter write_profile profile;
   match baseline with
   | None -> ()
   | Some (path, baseline) ->

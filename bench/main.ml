@@ -13,13 +13,14 @@ type baseline_opts = {
   mutable quick : bool;
   mutable out : string option;
   mutable check : string option;
+  mutable profile : string option;
 }
 
-let baseline_opts = { quick = false; out = None; check = None }
+let baseline_opts = { quick = false; out = None; check = None; profile = None }
 
 let run_hotpath () =
   Hotpath.run ~quick:baseline_opts.quick ?out:baseline_opts.out
-    ?check:baseline_opts.check ()
+    ?check:baseline_opts.check ?profile:baseline_opts.profile ()
 
 let run_campaign_throughput () =
   Campaign_throughput.run ~quick:baseline_opts.quick ?out:baseline_opts.out
@@ -70,6 +71,9 @@ let () =
         strip_opts rest
     | "--check" :: path :: rest ->
         baseline_opts.check <- Some path;
+        strip_opts rest
+    | "--profile" :: path :: rest ->
+        baseline_opts.profile <- Some path;
         strip_opts rest
     | arg :: rest -> arg :: strip_opts rest
   in

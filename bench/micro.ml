@@ -119,6 +119,53 @@ let bench_writer_reused =
             ignore (encode_frame w i)
           done))
 
+(* Direct allocation assertion, not a Bechamel estimate: encoding a full
+   request PDU through the pooled-writer entry point must allocate well
+   under half of what per-call fresh writers do, or the Medium.with_codec
+   pooling has silently regressed.  Exits non-zero on failure so CI can
+   gate on it. *)
+let assert_pooled_encode_allocates_less () =
+  let payload = Urcgc.Wire_codec.string_payload in
+  let n = 15 in
+  let body =
+    Urcgc.Wire.Request
+      {
+        Urcgc.Wire.sender = node 0;
+        subrun = 3;
+        last_processed = Array.make n 5;
+        waiting = Array.make n None;
+        prev_decision = Urcgc.Decision.initial ~n;
+      }
+  in
+  let rounds = 1000 in
+  (* Warm both paths once so neither measurement pays first-call costs. *)
+  ignore (Urcgc.Wire_codec.encode_body payload body);
+  let fresh_words =
+    let before = Gc.minor_words () in
+    for _ = 1 to rounds do
+      ignore (Urcgc.Wire_codec.encode_body payload body)
+    done;
+    Gc.minor_words () -. before
+  in
+  let pooled_words =
+    let w = Net.Bytebuf.Writer.create () in
+    ignore (Urcgc.Wire_codec.encode_body_into w payload body);
+    let before = Gc.minor_words () in
+    for _ = 1 to rounds do
+      ignore (Urcgc.Wire_codec.encode_body_into w payload body)
+    done;
+    Gc.minor_words () -. before
+  in
+  Format.printf
+    "  %-36s %12.0f mw pooled %12.0f mw fresh (%d frames)@."
+    "pooled codec writer assertion" pooled_words fresh_words rounds;
+  if pooled_words >= fresh_words /. 2. then begin
+    Format.printf
+      "  FAIL: pooled encode_body_into should allocate < half of fresh \
+       encode_body@.";
+    exit 1
+  end
+
 let benchmarks =
   [
     bench_history;
@@ -132,6 +179,7 @@ let benchmarks =
 
 let run () =
   Format.printf "@.== Micro-benchmarks (Bechamel) ==@.@.";
+  assert_pooled_encode_allocates_less ();
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in

@@ -115,8 +115,8 @@ let check_against ~path ~baseline samples =
           (fun s ->
             match List.assoc_opt s.name baseline with
             | None -> None
-            | Some base when s.disabled_ns <= tolerance *. base -> None
-            | Some base -> Some (s.name, base, s.disabled_ns))
+            | Some (base, _) when s.disabled_ns <= tolerance *. base -> None
+            | Some (base, _) -> Some (s.name, base, s.disabled_ns))
           samples
       in
       List.iter
@@ -152,7 +152,7 @@ let run ?(quick = false) ?out ?check () =
         (fun s ->
           match List.assoc_opt s.name baseline with
           | None -> ()
-          | Some base ->
+          | Some (base, _) ->
               Format.printf
                 "  %-12s disabled vs committed baseline: %+.1f%%@." s.name
                 (100. *. ((s.disabled_ns /. base) -. 1.)))

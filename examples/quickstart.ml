@@ -63,7 +63,7 @@ let () =
     List.concat_map
       (fun { Urcgc.Cluster.msg; _ } ->
         if Causal.Mid.equal msg.Causal.Causal_msg.mid reaction.mid then
-          msg.Causal.Causal_msg.deps
+          Array.to_list msg.Causal.Causal_msg.deps
         else [])
       (Urcgc.Cluster.deliveries cluster)
     |> List.sort_uniq Causal.Mid.compare

@@ -1,46 +1,51 @@
 type 'a t = {
   mid : Mid.t;
-  deps : Mid.t list;
+  deps : Mid.t array;
   payload : 'a;
   payload_size : int;
 }
 
 let header_size = Mid.encoded_size + 2 + 2
 
+(* [deps] must be sorted by [Mid.compare] with unique origins and no
+   dependency on the message's own origin at or past [seq]; checked in one
+   allocation-free pass. *)
 let validate_deps mid deps =
-  let rec check = function
-    | [] | [ _ ] -> ()
-    | a :: (b :: _ as rest) ->
-        if Net.Node_id.equal (Mid.origin a) (Mid.origin b) then
-          invalid_arg "Causal_msg.make: two dependencies share an origin";
-        check rest
-  in
-  check deps;
-  List.iter
-    (fun dep ->
-      if
-        Net.Node_id.equal (Mid.origin dep) (Mid.origin mid)
-        && Mid.seq dep >= Mid.seq mid
-      then invalid_arg "Causal_msg.make: dependency on self or a later message")
-    deps
+  let n = Array.length deps in
+  for i = 0 to n - 1 do
+    let dep = deps.(i) in
+    if i > 0 then begin
+      if Mid.compare deps.(i - 1) dep >= 0 then
+        invalid_arg "Causal_msg.make: dependencies not sorted and distinct";
+      if Net.Node_id.equal (Mid.origin deps.(i - 1)) (Mid.origin dep) then
+        invalid_arg "Causal_msg.make: two dependencies share an origin"
+    end;
+    if
+      Net.Node_id.equal (Mid.origin dep) (Mid.origin mid)
+      && Mid.seq dep >= Mid.seq mid
+    then invalid_arg "Causal_msg.make: dependency on self or a later message"
+  done
 
-let make ~mid ~deps ~payload_size payload =
+let of_sorted_deps ~mid ~deps ~payload_size payload =
   if payload_size < 0 then invalid_arg "Causal_msg.make: negative payload size";
-  let deps = List.sort_uniq Mid.compare deps in
   validate_deps mid deps;
   { mid; deps; payload; payload_size }
 
+let make ~mid ~deps ~payload_size payload =
+  let deps = Array.of_list (List.sort_uniq Mid.compare deps) in
+  of_sorted_deps ~mid ~deps ~payload_size payload
+
 let encoded_size t =
-  header_size + (Mid.encoded_size * List.length t.deps) + t.payload_size
+  header_size + (Mid.encoded_size * Array.length t.deps) + t.payload_size
 
 let depends_on t m =
-  List.exists (Mid.equal m) t.deps
+  Array.exists (Mid.equal m) t.deps
   || (Net.Node_id.equal (Mid.origin t.mid) (Mid.origin m)
      && Mid.seq m < Mid.seq t.mid)
 
 let pp ppf t =
   Format.fprintf ppf "%a<-[%a]" Mid.pp t.mid
-    (Format.pp_print_list
+    (Format.pp_print_seq
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
        Mid.pp)
-    t.deps
+    (Array.to_seq t.deps)

@@ -1,15 +1,21 @@
 (** A user message together with its causal labelling.
 
-    Besides the content, a message carries its [mid] and the list of the
-    mids which it causally depends on (Section 3).  Under the intermediate
-    interpretation of Definition 3.1 used throughout the paper, each process
-    roots a single sequence, so a message carries at most one dependency per
-    origin and the dependency on the sender's own previous message is implied
-    by the sequence number rather than listed. *)
+    Besides the content, a message carries its [mid] and the mids which it
+    causally depends on (Section 3).  Under the intermediate interpretation
+    of Definition 3.1 used throughout the paper, each process roots a single
+    sequence, so a message carries at most one dependency per origin and the
+    dependency on the sender's own previous message is implied by the
+    sequence number rather than listed.
+
+    Dependencies are stored as a flat array sorted by [Mid.compare]: the
+    delivery hot path scans them once per message, and the array form keeps
+    a message's label a single block rather than a cons chain. *)
 
 type 'a t = {
   mid : Mid.t;
-  deps : Mid.t list;  (** explicit causal dependencies, at most one per origin *)
+  deps : Mid.t array;
+      (** explicit causal dependencies, sorted by [Mid.compare], at most one
+          per origin.  Treat as immutable. *)
   payload : 'a;
   payload_size : int;  (** bytes of user data carried *)
 }
@@ -19,6 +25,14 @@ val make : mid:Mid.t -> deps:Mid.t list -> payload_size:int -> 'a -> 'a t
     [payload_size < 0], if two dependencies share an origin, or if a
     dependency names the message itself or a later message of its origin
     (which would break the acyclic property of Definition 3.1). *)
+
+val of_sorted_deps :
+  mid:Mid.t -> deps:Mid.t array -> payload_size:int -> 'a -> 'a t
+(** Like {!make} but adopts [deps] without copying or sorting: the array
+    must already be sorted by [Mid.compare] and must not be mutated after
+    the call.  Validation (distinctness, origin uniqueness, acyclicity) is
+    still performed, in one allocation-free pass — this is the hot-path
+    constructor. *)
 
 val header_size : int
 (** Fixed header bytes: mid + dependency count + payload length. *)

@@ -19,13 +19,23 @@ let missing t (msg : _ Causal_msg.t) =
     let next = last_processed t origin + 1 in
     if Mid.seq mid > next then [ Mid.make ~origin ~seq:next ] else []
   in
-  let unprocessed_deps = List.filter (fun dep -> not (processed t dep)) msg.deps in
+  let unprocessed_deps =
+    Array.fold_right
+      (fun dep acc -> if processed t dep then acc else dep :: acc)
+      msg.deps []
+  in
   chain_gap @ unprocessed_deps
+
+(* Top-level recursion, not [Array.for_all (processed t)]: this runs once
+   per received message and must allocate neither a closure nor a partial
+   application. *)
+let rec deps_processed t deps i =
+  i >= Array.length deps || (processed t deps.(i) && deps_processed t deps (i + 1))
 
 let processable t msg =
   let mid = msg.Causal_msg.mid in
   Mid.seq mid = last_processed t (Mid.origin mid) + 1
-  && List.for_all (processed t) msg.Causal_msg.deps
+  && deps_processed t msg.Causal_msg.deps 0
 
 let mark t mid =
   let i = Net.Node_id.to_int (Mid.origin mid) in

@@ -22,6 +22,8 @@ let cardinal t =
 
 let alive_array t = Array.copy t.alive
 
+let alive_raw t = t.alive
+
 let set_alive_array t states =
   if Array.length states <> Array.length t.alive then
     invalid_arg "Group_view.set_alive_array: dimension mismatch";

@@ -28,6 +28,11 @@ val cardinal : t -> int
 val alive_array : t -> bool array
 (** Copy, indexed by node id. *)
 
+val alive_raw : t -> bool array
+(** The view's own backing array, indexed by node id — read-only borrow for
+    allocation-free hot paths; mutating it corrupts the view.  Stale after
+    the next {!remove}/{!set_alive_array}. *)
+
 val set_alive_array : t -> bool array -> unit
 (** Adopts the [process_state] vector of a decision.  Only removals are
     applied: a view never resurrects a process. *)

@@ -3,166 +3,176 @@
    messages in strictly increasing seq order and purges prefixes, so the live
    seqs of one origin always form a narrow window [base, base+span).  A slot
    inside the window can still be a hole — [force_skip_to] jumps and the
-   test-suite's sparse stores leave gaps — hence slots are optional and a
-   per-ring [count] tracks actual occupancy.  All hot operations ([store],
+   test-suite's sparse stores leave gaps.  All hot operations ([store],
    [mem], [find], [max_seq]) are O(1); [purge_upto] and [range] are O(slots
    touched).
 
+   Representation notes, both driven by the allocation budget (docs/PERF.md):
+   - The per-origin ring state lives in parallel arrays indexed by origin
+     rather than one record per ring: creating a history is five arrays
+     instead of n records, and a member allocates one history per group
+     member it simulates.
+   - Slots hold the message directly, with a physically-unique [hole]
+     sentinel standing for emptiness, instead of an option/variant box:
+     storing a message writes one pointer and allocates nothing.  The
+     sentinel never escapes — every reader compares against it first.
+
    Ring invariants:
    - capacity is a power of two (masking instead of mod);
-   - every slot outside the window is [Empty];
-   - when [span > 0] the top slot (seq [base+span-1]) is always [Stored],
+   - every slot outside the window is a hole;
+   - when [span > 0] the top slot (seq [base+span-1]) is always occupied,
      so [max_seq] needs no scan.  Only [purge_upto] removes entries and it
      eats from the bottom. *)
 
-type 'a slot = Empty | Stored of 'a Causal_msg.t
+(* The hole sentinel.  A boxed value with a private identity: no legitimate
+   message can be physically equal to it, and [Array.make] on a boxed value
+   always builds an ordinary (non-float) array.  [Causal_msg.t] values are
+   records, hence boxed, so the magic never confuses the GC. *)
+let hole : Obj.t = Obj.repr (ref "history-hole")
 
-type 'a ring = {
-  mutable buf : 'a slot array;
-  mutable head : int;  (* physical index of seq [base] *)
-  mutable base : int;  (* lowest seq covered by the window *)
-  mutable span : int;  (* seqs covered: [base, base + span) *)
-  mutable count : int; (* [Stored] slots within the window *)
+let hole_msg : 'a Causal_msg.t = Obj.magic hole
+
+let is_hole (msg : 'a Causal_msg.t) = Obj.repr msg == hole
+
+type 'a t = {
+  bufs : 'a Causal_msg.t array array;  (* [||] until the first store *)
+  head : int array;   (* physical index of seq [base] *)
+  base : int array;   (* lowest seq covered by the window *)
+  span : int array;   (* seqs covered: [base, base + span) *)
+  count : int array;  (* occupied slots within the window *)
+  mutable total : int;
 }
-
-type 'a t = { rings : 'a ring array; mutable total : int }
 
 let create ~n =
   if n <= 0 then invalid_arg "History.create: n must be positive";
   {
-    rings =
-      Array.init n (fun _ ->
-          { buf = [||]; head = 0; base = 0; span = 0; count = 0 });
+    bufs = Array.make n [||];
+    head = Array.make n 0;
+    base = Array.make n 0;
+    span = Array.make n 0;
+    count = Array.make n 0;
     total = 0;
   }
 
-let ring t origin = t.rings.(Net.Node_id.to_int origin)
+let phys t o i = (t.head.(o) + i) land (Array.length t.bufs.(o) - 1)
 
-let phys r i = (r.head + i) land (Array.length r.buf - 1)
-
-let get r seq =
-  if r.span = 0 || seq < r.base || seq >= r.base + r.span then Empty
-  else r.buf.(phys r (seq - r.base))
+(* The slot for [seq], or the hole when outside the window. *)
+let get t o seq =
+  if t.span.(o) = 0 || seq < t.base.(o) || seq >= t.base.(o) + t.span.(o) then
+    hole_msg
+  else t.bufs.(o).(phys t o (seq - t.base.(o)))
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
-(* Initial ring capacity.  Kept small: a member holds one ring per origin
-   and the steady-state window is a handful of messages (history is purged
-   every full-group decision), so at n = 128 the difference between 4 and 16
-   slots is ~200 kw of promoted heap per simulated cluster. *)
-let initial_cap = 4
+(* Initial ring capacity.  Kept minimal: a member holds one ring per origin
+   and the steady-state window is a couple of messages (history is purged
+   every full-group decision), so at n = 128 every extra initial slot is
+   ~16 kw of heap per simulated cluster. *)
+let initial_cap = 2
 
 (* Re-house the window in a fresh buffer of at least [needed] slots, leaving
    [offset] empty slots below the current base (for downward extension). *)
-let rehouse r ~needed ~offset =
-  let ncap = next_pow2 needed (max initial_cap (2 * Array.length r.buf)) in
-  let nbuf = Array.make ncap Empty in
-  for i = 0 to r.span - 1 do
-    nbuf.(offset + i) <- r.buf.(phys r i)
+let rehouse t o ~needed ~offset =
+  let ncap = next_pow2 needed (max initial_cap (2 * Array.length t.bufs.(o))) in
+  let nbuf = Array.make ncap hole_msg in
+  for i = 0 to t.span.(o) - 1 do
+    nbuf.(offset + i) <- t.bufs.(o).(phys t o i)
   done;
-  r.buf <- nbuf;
-  r.head <- 0
+  t.bufs.(o) <- nbuf;
+  t.head.(o) <- 0
 
 let store t msg =
   let mid = msg.Causal_msg.mid in
-  let r = ring t (Mid.origin mid) in
+  let o = Net.Node_id.to_int (Mid.origin mid) in
   let seq = Mid.seq mid in
-  if r.span = 0 then begin
-    if Array.length r.buf = 0 then r.buf <- Array.make initial_cap Empty;
-    r.head <- 0;
-    r.base <- seq;
-    r.span <- 1
+  if t.span.(o) = 0 then begin
+    if Array.length t.bufs.(o) = 0 then
+      t.bufs.(o) <- Array.make initial_cap hole_msg;
+    t.head.(o) <- 0;
+    t.base.(o) <- seq;
+    t.span.(o) <- 1
   end
-  else if seq >= r.base + r.span then begin
-    let needed = seq - r.base + 1 in
-    if needed > Array.length r.buf then rehouse r ~needed ~offset:0;
-    r.span <- needed
+  else if seq >= t.base.(o) + t.span.(o) then begin
+    let needed = seq - t.base.(o) + 1 in
+    if needed > Array.length t.bufs.(o) then rehouse t o ~needed ~offset:0;
+    t.span.(o) <- needed
   end
-  else if seq < r.base then begin
+  else if seq < t.base.(o) then begin
     (* Below the window: only reachable by storing under an already-purged
        or not-yet-started prefix (exercised by tests, not the protocol). *)
-    let delta = r.base - seq in
-    let needed = r.span + delta in
-    if needed > Array.length r.buf then rehouse r ~needed ~offset:delta
+    let delta = t.base.(o) - seq in
+    let needed = t.span.(o) + delta in
+    if needed > Array.length t.bufs.(o) then rehouse t o ~needed ~offset:delta
     else begin
-      let cap = Array.length r.buf in
-      r.head <- (r.head + cap - delta) land (cap - 1)
+      let cap = Array.length t.bufs.(o) in
+      t.head.(o) <- (t.head.(o) + cap - delta) land (cap - 1)
     end;
-    r.base <- seq;
-    r.span <- needed
+    t.base.(o) <- seq;
+    t.span.(o) <- needed
   end;
-  let i = phys r (seq - r.base) in
-  match r.buf.(i) with
-  | Stored _ -> () (* idempotent: keep the first copy *)
-  | Empty ->
-      r.buf.(i) <- Stored msg;
-      r.count <- r.count + 1;
-      t.total <- t.total + 1
+  let i = phys t o (seq - t.base.(o)) in
+  if is_hole t.bufs.(o).(i) then begin
+    t.bufs.(o).(i) <- msg;
+    t.count.(o) <- t.count.(o) + 1;
+    t.total <- t.total + 1
+  end
+  (* else idempotent: keep the first copy *)
 
 let mem t mid =
-  match get (ring t (Mid.origin mid)) (Mid.seq mid) with
-  | Empty -> false
-  | Stored _ -> true
+  not (is_hole (get t (Net.Node_id.to_int (Mid.origin mid)) (Mid.seq mid)))
 
 let find t mid =
-  match get (ring t (Mid.origin mid)) (Mid.seq mid) with
-  | Empty -> None
-  | Stored msg -> Some msg
+  let msg = get t (Net.Node_id.to_int (Mid.origin mid)) (Mid.seq mid) in
+  if is_hole msg then None else Some msg
 
 let range t ~origin ~lo ~hi =
-  let r = ring t origin in
-  if r.span = 0 then []
+  let o = Net.Node_id.to_int origin in
+  if t.span.(o) = 0 then []
   else begin
-    let lo = max lo r.base and hi = min hi (r.base + r.span - 1) in
+    let lo = max lo t.base.(o) and hi = min hi (t.base.(o) + t.span.(o) - 1) in
     let rec collect seq acc =
       if seq < lo then acc
       else
-        let acc =
-          match r.buf.(phys r (seq - r.base)) with
-          | Stored msg -> msg :: acc
-          | Empty -> acc
-        in
-        collect (seq - 1) acc
+        let msg = t.bufs.(o).(phys t o (seq - t.base.(o))) in
+        collect (seq - 1) (if is_hole msg then acc else msg :: acc)
     in
     collect hi []
   end
 
 let purge_upto t ~origin ~seq =
-  let r = ring t origin in
-  if r.span = 0 || seq < r.base then 0
+  let o = Net.Node_id.to_int origin in
+  if t.span.(o) = 0 || seq < t.base.(o) then 0
   else begin
-    let k = min (seq - r.base + 1) r.span in
+    let k = min (seq - t.base.(o) + 1) t.span.(o) in
     let removed = ref 0 in
     for i = 0 to k - 1 do
-      let p = phys r i in
-      (match r.buf.(p) with Stored _ -> incr removed | Empty -> ());
-      r.buf.(p) <- Empty
+      let p = phys t o i in
+      if not (is_hole t.bufs.(o).(p)) then incr removed;
+      t.bufs.(o).(p) <- hole_msg
     done;
-    r.head <- phys r k;
-    r.base <- r.base + k;
-    r.span <- r.span - k;
-    if r.span = 0 then r.head <- 0;
-    r.count <- r.count - !removed;
+    t.head.(o) <- phys t o k;
+    t.base.(o) <- t.base.(o) + k;
+    t.span.(o) <- t.span.(o) - k;
+    if t.span.(o) = 0 then t.head.(o) <- 0;
+    t.count.(o) <- t.count.(o) - !removed;
     t.total <- t.total - !removed;
     !removed
   end
 
 let length t = t.total
 
-let entry_length t origin = (ring t origin).count
+let entry_length t origin = t.count.(Net.Node_id.to_int origin)
 
 let max_seq t ~origin =
-  let r = ring t origin in
-  if r.span = 0 then 0 else r.base + r.span - 1
+  let o = Net.Node_id.to_int origin in
+  if t.span.(o) = 0 then 0 else t.base.(o) + t.span.(o) - 1
 
 let fold t ~init ~f =
-  Array.fold_left
-    (fun acc r ->
-      let acc = ref acc in
-      for i = 0 to r.span - 1 do
-        match r.buf.(phys r i) with
-        | Stored msg -> acc := f !acc msg
-        | Empty -> ()
-      done;
-      !acc)
-    init t.rings
+  let acc = ref init in
+  for o = 0 to Array.length t.bufs - 1 do
+    for i = 0 to t.span.(o) - 1 do
+      let msg = t.bufs.(o).(phys t o i) in
+      if not (is_hole msg) then acc := f !acc msg
+    done
+  done;
+  !acc

@@ -51,10 +51,15 @@ type 'a ring = {
 type 'a t = {
   n : int;
   mutable size : int;
-  rings : 'a ring option array;
-      (* lazily created: an origin that never blocks costs one word *)
+  mutable rings : 'a ring option array;
+      (* [||] until the first add, then lazily created per origin: an origin
+         that never blocks costs one word.  Most lists never see a blocked
+         message at all, so the per-origin arrays only exist once one does —
+         a member allocates one waiting list per group member it simulates,
+         and the empty-list footprint is what every fault-free run pays. *)
   mutable ready : Mid.Set.t;
-  seen : int array;
+  mutable seen : int array;  (* [||] until the first add *)
+  mutable empty_vec : Mid.t option array;  (* shared all-[None] vector *)
   dependents : (Mid.t, Mid.t list ref) Hashtbl.t;
   dep_index : (Mid.t, Mid.t list ref) Hashtbl.t;
 }
@@ -64,14 +69,23 @@ let create ~n =
   {
     n;
     size = 0;
-    rings = Array.make n None;
+    rings = [||];
     ready = Mid.Set.empty;
-    seen = Array.make n 0;
-    (* Small initial tables: a member allocates one waiting list per group
-       member it simulates, and most lists never see a blocked message. *)
+    seen = [||];
+    empty_vec = [||];
+    (* Small initial tables: kept eager (they are a handful of words). *)
     dependents = Hashtbl.create 8;
     dep_index = Hashtbl.create 8;
   }
+
+(* Allocate the per-origin state on the first add.  [seen] starting at all
+   zeros is exactly the eager behaviour: it only ever catches up inside
+   [take_processable], which never runs while the list is empty. *)
+let ensure t =
+  if Array.length t.seen = 0 then begin
+    t.rings <- Array.make t.n None;
+    t.seen <- Array.make t.n 0
+  end
 
 (* -- per-origin rings ---------------------------------------------------- *)
 
@@ -90,9 +104,11 @@ let slot r seq =
   else r.buf.(phys r (seq - r.base))
 
 let find_entry t mid =
-  match t.rings.(Net.Node_id.to_int (Mid.origin mid)) with
-  | None -> None
-  | Some r -> slot r (Mid.seq mid)
+  if Array.length t.rings = 0 then None
+  else
+    match t.rings.(Net.Node_id.to_int (Mid.origin mid)) with
+    | None -> None
+    | Some r -> slot r (Mid.seq mid)
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
@@ -167,12 +183,13 @@ let add t msg =
   match find_entry t mid with
   | Some _ -> () (* idempotent *)
   | None ->
+      ensure t;
       let o = Net.Node_id.to_int (Mid.origin mid) in
       let s = Mid.seq mid in
       let pending = ref [] in
       if s - 1 > t.seen.(o) then
         pending := Mid.make ~origin:(Mid.origin mid) ~seq:(s - 1) :: !pending;
-      List.iter
+      Array.iter
         (fun dep ->
           if Mid.seq dep > t.seen.(Net.Node_id.to_int (Mid.origin dep)) then
             pending := dep :: !pending)
@@ -181,7 +198,7 @@ let add t msg =
       ring_put (ring_of t o) s entry;
       t.size <- t.size + 1;
       List.iter (fun b -> register t.dependents b mid) entry.pending;
-      List.iter (fun dep -> register t.dep_index dep mid) msg.Causal_msg.deps;
+      Array.iter (fun dep -> register t.dep_index dep mid) msg.Causal_msg.deps;
       (* Ready iff nothing blocks it and its chain position is still ahead
          of what this list has seen processed. *)
       if entry.pending = [] && s > t.seen.(o) then
@@ -203,7 +220,7 @@ let is_empty t = t.size = 0
 
 let oldest t ~origin =
   let o = Net.Node_id.to_int origin in
-  if o >= t.n then None
+  if o >= t.n || Array.length t.rings = 0 then None
   else
     match t.rings.(o) with
     | None -> None
@@ -215,7 +232,14 @@ let oldest t ~origin =
           | None -> assert false (* front compression: base slot occupied *))
 
 let oldest_vector t =
-  Array.init t.n (fun i -> oldest t ~origin:(Net.Node_id.of_int i))
+  if t.size = 0 then begin
+    (* Every request of a member with nothing waiting carries an all-[None]
+       vector; share one physical array per list instead of allocating n
+       words per subrun.  Callers treat request vectors as read-only. *)
+    if Array.length t.empty_vec < t.n then t.empty_vec <- Array.make t.n None;
+    t.empty_vec
+  end
+  else Array.init t.n (fun i -> oldest t ~origin:(Net.Node_id.of_int i))
 
 (* -- readiness sync ------------------------------------------------------ *)
 
@@ -286,6 +310,8 @@ let take_processable t delivery =
 (* -- discard cascade ----------------------------------------------------- *)
 
 let discard_from t ~origin ~seq =
+  if t.size = 0 then []
+  else begin
   let victims = Hashtbl.create 16 in
   let queue = Queue.create () in
   (* Lowest seq from which each origin's waiting tail has been swept: sweeps
@@ -334,7 +360,7 @@ let discard_from t ~origin ~seq =
           (fun d ->
             match find_entry t d with
             | Some entry
-              when List.exists (Mid.equal v) entry.msg.Causal_msg.deps ->
+              when Array.exists (Mid.equal v) entry.msg.Causal_msg.deps ->
                 add_victim d
             | Some _ | None -> ())
           !dependers
@@ -345,8 +371,11 @@ let discard_from t ~origin ~seq =
   in
   List.iter (remove t) discarded;
   discarded
+  end
 
 let to_list t =
+  if Array.length t.rings = 0 then []
+  else
   List.concat
     (List.init t.n (fun o ->
          match t.rings.(o) with

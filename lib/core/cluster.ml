@@ -4,6 +4,19 @@ type 'a delivery = {
   at : Sim.Ticks.t;
 }
 
+(* Delivery records are kept in fixed-size column chunks instead of a list
+   of records: at n = 128 a subrun processes n*(n-1) messages, and a record
+   plus list cell per delivery is most of the round's allocation.  The
+   [delivery] records the public accessor returns are materialized on
+   demand. *)
+let dchunk_size = 512
+
+type 'a dchunk = {
+  d_nodes : int array;
+  d_ats : int array;  (* Ticks, as raw ints *)
+  d_msgs : 'a Causal.Causal_msg.t array;
+}
+
 type 'a generation = {
   mid : Causal.Mid.t;
   payload : 'a;
@@ -21,13 +34,18 @@ type 'a t = {
   medium : 'a Medium.t;
   tracer : Sim.Tracer.t;
   members : 'a Member.t array;
+  (* One action sink per member, built once at creation: members stream
+     their actions straight into the cluster's effects (sends, records,
+     trace) with no per-round action lists. *)
+  mutable sinks : 'a Member.sink array;
   mutable round : int;
   mutable started : bool;
   mutable round_callbacks : (round:int -> unit) list;
   mutable extra_broadcast_targets : Net.Node_id.t list;
   mutable delivery_callbacks : ('a delivery -> unit) list;
   mutable confirm_callbacks : (Net.Node_id.t -> Causal.Mid.t -> unit) list;
-  mutable deliveries : 'a delivery list;  (* newest first *)
+  mutable dchunks : 'a dchunk list;  (* newest chunk first *)
+  mutable dfill : int;  (* occupied slots in the newest chunk *)
   mutable generations : 'a generation list;
   mutable departures : departure list;
   mutable discards : (Net.Node_id.t * Causal.Mid.t list * Sim.Ticks.t) list;
@@ -51,7 +69,7 @@ let trace_pdu (body : _ Wire.body) =
         {
           origin = Net.Node_id.to_int (Causal.Mid.origin msg.Causal.Causal_msg.mid);
           seq = Causal.Mid.seq msg.mid;
-          deps = List.length msg.deps;
+          deps = Array.length msg.deps;
           bytes = msg.payload_size;
         }
   | Wire.Request r ->
@@ -83,68 +101,136 @@ let emit t event = Sim.Trace.emit t.tracer ~time:(now t) event
 
 let tracing t = Sim.Trace.enabled t.tracer
 
-let execute t member action =
+(* The destination set of a broadcast by [member]: every other process
+   alive in its local view (ids ascending), plus the extra targets, as an
+   exact-size array handed to the medium. *)
+let broadcast_dsts t member =
+  let self = Member.id member in
+  let alive = Causal.Group_view.alive_raw (Member.view member) in
+  let n = Array.length alive in
+  let self_i = Net.Node_id.to_int self in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if alive.(j) && j <> self_i then incr count
+  done;
+  let extra = t.extra_broadcast_targets in
+  let total = !count + List.length extra in
+  if total = 0 then [||]
+  else begin
+    let dsts = Array.make total self in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if alive.(j) && j <> self_i then begin
+        dsts.(!k) <- Net.Node_id.of_int j;
+        incr k
+      end
+    done;
+    List.iter
+      (fun node ->
+        dsts.(!k) <- node;
+        incr k)
+      extra;
+    dsts
+  end
+
+let sink_of t member =
   let self = Member.id member in
   let self_i = Net.Node_id.to_int self in
-  match action with
-  | Member.Broadcast body ->
-      let dsts =
-        List.filter
-          (fun node -> not (Net.Node_id.equal node self))
-          (Causal.Group_view.members (Member.view member))
-        @ t.extra_broadcast_targets
-      in
-      (match body with
-      | Wire.Data msg ->
-          t.generations <-
-            { mid = msg.Causal.Causal_msg.mid; payload = msg.payload; sent_at = now t }
-            :: t.generations
-      | Wire.Request _ | Wire.Decision_pdu _ | Wire.Recover_req _
-      | Wire.Recover_reply _ ->
-          ());
-      if tracing t then
-        emit t
-          (Sim.Trace.Broadcast
-             { src = self_i; dsts = List.length dsts; pdu = trace_pdu body });
-      Medium.multicast t.medium ~src:self ~dsts body
-  | Member.Send (dst, body) ->
-      if tracing t then
-        emit t
-          (Sim.Trace.Send
-             { src = self_i; dst = Net.Node_id.to_int dst; pdu = trace_pdu body });
-      Medium.send t.medium ~src:self ~dst body
-  | Member.Processed msg ->
-      let record = { node = self; msg; at = now t } in
-      t.deliveries <- record :: t.deliveries;
-      if tracing t then
-        emit t
-          (Sim.Trace.Deliver
-             { node = self_i; mid = trace_mid msg.Causal.Causal_msg.mid });
-      List.iter (fun callback -> callback record) (List.rev t.delivery_callbacks)
-  | Member.Confirmed mid ->
-      List.iter
-        (fun callback -> callback self mid)
-        (List.rev t.confirm_callbacks);
-      if tracing t then
-        emit t (Sim.Trace.Confirm { node = self_i; mid = trace_mid mid })
-  | Member.Queued (mid, depth) ->
-      if tracing t then
-        emit t
-          (Sim.Trace.Wait_add { node = self_i; mid = trace_mid mid; depth })
-  | Member.Discarded mids ->
-      t.discards <- (self, mids, now t) :: t.discards;
-      if tracing t then
-        emit t
-          (Sim.Trace.Wait_discard
-             { node = self_i; mids = List.map trace_mid mids })
-  | Member.Left why ->
-      t.departures <- { who = self; why; when_ = now t } :: t.departures;
-      if tracing t then
-        emit t
-          (Sim.Trace.Left
-             { node = self_i; reason = Member.reason_to_string why })
+  {
+    Member.emit_broadcast =
+      (fun body ->
+        let dsts = broadcast_dsts t member in
+        (match body with
+        | Wire.Data msg ->
+            t.generations <-
+              {
+                mid = msg.Causal.Causal_msg.mid;
+                payload = msg.payload;
+                sent_at = now t;
+              }
+              :: t.generations
+        | Wire.Request _ | Wire.Decision_pdu _ | Wire.Recover_req _
+        | Wire.Recover_reply _ ->
+            ());
+        if tracing t then
+          emit t
+            (Sim.Trace.Broadcast
+               { src = self_i; dsts = Array.length dsts; pdu = trace_pdu body });
+        Medium.multicast t.medium ~src:self ~dsts body);
+    emit_send =
+      (fun dst body ->
+        if tracing t then
+          emit t
+            (Sim.Trace.Send
+               {
+                 src = self_i;
+                 dst = Net.Node_id.to_int dst;
+                 pdu = trace_pdu body;
+               });
+        Medium.send t.medium ~src:self ~dst body);
+    emit_processed =
+      (fun msg ->
+        let at = now t in
+        let chunk =
+          match t.dchunks with
+          | chunk :: _ when t.dfill < dchunk_size -> chunk
+          | _ ->
+              let chunk =
+                {
+                  d_nodes = Array.make dchunk_size 0;
+                  d_ats = Array.make dchunk_size 0;
+                  (* [msg] as the fill value: any slot past [dfill] is dead,
+                     and seeding with a real message keeps the array boxed
+                     without a sentinel. *)
+                  d_msgs = Array.make dchunk_size msg;
+                }
+              in
+              t.dchunks <- chunk :: t.dchunks;
+              t.dfill <- 0;
+              chunk
+        in
+        chunk.d_nodes.(t.dfill) <- self_i;
+        chunk.d_ats.(t.dfill) <- (at : Sim.Ticks.t :> int);
+        chunk.d_msgs.(t.dfill) <- msg;
+        t.dfill <- t.dfill + 1;
+        if tracing t then
+          emit t
+            (Sim.Trace.Deliver
+               { node = self_i; mid = trace_mid msg.Causal.Causal_msg.mid });
+        match t.delivery_callbacks with
+        | [] -> ()
+        | callbacks ->
+            let record = { node = self; msg; at } in
+            List.iter (fun callback -> callback record) (List.rev callbacks));
+    emit_confirmed =
+      (fun mid ->
+        List.iter
+          (fun callback -> callback self mid)
+          (List.rev t.confirm_callbacks);
+        if tracing t then
+          emit t (Sim.Trace.Confirm { node = self_i; mid = trace_mid mid }));
+    emit_queued =
+      (fun mid depth ->
+        if tracing t then
+          emit t
+            (Sim.Trace.Wait_add { node = self_i; mid = trace_mid mid; depth }));
+    emit_discarded =
+      (fun mids ->
+        t.discards <- (self, mids, now t) :: t.discards;
+        if tracing t then
+          emit t
+            (Sim.Trace.Wait_discard
+               { node = self_i; mids = List.map trace_mid mids }));
+    emit_left =
+      (fun why ->
+        t.departures <- { who = self; why; when_ = now t } :: t.departures;
+        if tracing t then
+          emit t
+            (Sim.Trace.Left
+               { node = self_i; reason = Member.reason_to_string why }));
+  }
 
-let execute_all t member actions = List.iter (execute t member) actions
+let sink t member = t.sinks.(Net.Node_id.to_int (Member.id member))
 
 let crashed t node =
   Net.Fault.crashed (Medium.fault t.medium) ~now:(now t) node
@@ -155,13 +241,14 @@ let on_body t member body =
       emit t
         (Sim.Trace.Receive
            { node = Net.Node_id.to_int (Member.id member); pdu = trace_pdu body });
-    execute_all t member (Member.handle member body)
+    Member.handle_into member (sink t member) body
   end
 
 let create_with_medium ?(tracer = Sim.Tracer.null) ~config ~medium () =
+  let initial_decision = Decision.initial ~n:config.Config.n in
   let members =
     Array.init config.Config.n (fun i ->
-        Member.create config (Net.Node_id.of_int i))
+        Member.create ~decision:initial_decision config (Net.Node_id.of_int i))
   in
   let t =
     {
@@ -169,18 +256,21 @@ let create_with_medium ?(tracer = Sim.Tracer.null) ~config ~medium () =
       medium;
       tracer;
       members;
+      sinks = [||];
       round = 0;
       started = false;
       round_callbacks = [];
       extra_broadcast_targets = [];
       delivery_callbacks = [];
       confirm_callbacks = [];
-      deliveries = [];
+      dchunks = [];
+      dfill = 0;
       generations = [];
       departures = [];
       discards = [];
     }
   in
+  t.sinks <- Array.map (fun member -> sink_of t member) members;
   Array.iter
     (fun member ->
       Medium.attach medium (Member.id member) (on_body t member))
@@ -219,11 +309,9 @@ let run_round t =
   Array.iter
     (fun member ->
       if not (crashed t (Member.id member)) then
-        let actions =
-          if round mod 2 = 0 then Member.begin_subrun member ~subrun
-          else Member.mid_subrun member ~subrun
-        in
-        execute_all t member actions)
+        if round mod 2 = 0 then
+          Member.begin_subrun_into member (sink t member) ~subrun
+        else Member.mid_subrun_into member (sink t member) ~subrun)
     t.members;
   t.round <- round + 1;
   List.iter (fun callback -> callback ~round) (List.rev t.round_callbacks)
@@ -263,7 +351,26 @@ let on_confirm t callback =
 let add_broadcast_targets t targets =
   t.extra_broadcast_targets <- t.extra_broadcast_targets @ targets
 
-let deliveries t = List.rev t.deliveries
+let deliveries t =
+  (* Chunks are newest-first; slots within a chunk are oldest-first.
+     Walking newest chunk to oldest and prepending each chunk's slots in
+     reverse yields the whole run oldest-first. *)
+  let acc = ref [] in
+  let fill = ref t.dfill in
+  List.iter
+    (fun chunk ->
+      for i = !fill - 1 downto 0 do
+        acc :=
+          {
+            node = Net.Node_id.of_int chunk.d_nodes.(i);
+            msg = chunk.d_msgs.(i);
+            at = Sim.Ticks.of_int chunk.d_ats.(i);
+          }
+          :: !acc
+      done;
+      fill := dchunk_size)
+    t.dchunks;
+  !acc
 let generations t = List.rev t.generations
 let departures t = List.rev t.departures
 let discards t = List.rev t.discards

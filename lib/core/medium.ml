@@ -5,7 +5,7 @@ type 'a t = {
   attach : Net.Node_id.t -> ('a Wire.body -> unit) -> unit;
   send : src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit;
   multicast :
-    src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit;
+    src:Net.Node_id.t -> dsts:Net.Node_id.t array -> 'a Wire.body -> unit;
 }
 
 type h_policy = All | At_least of int
@@ -15,17 +15,14 @@ let of_netsim net =
     engine = Net.Netsim.engine net;
     fault = Net.Netsim.fault net;
     traffic = (fun () -> Net.Netsim.traffic net);
-    attach =
-      (fun node handler ->
-        Net.Netsim.attach net node (fun packet ->
-            handler packet.Net.Netsim.payload));
+    attach = (fun node handler -> Net.Netsim.attach_payload net node handler);
     send =
       (fun ~src ~dst body ->
         Net.Netsim.send net ~src ~dst ~kind:(Wire.kind body)
           ~size:(Wire.body_size body) body);
     multicast =
       (fun ~src ~dsts body ->
-        Net.Netsim.multicast net ~src ~dsts ~kind:(Wire.kind body)
+        Net.Netsim.multicast_array net ~src ~dsts ~kind:(Wire.kind body)
           ~size:(Wire.body_size body) body);
   }
 
@@ -52,7 +49,8 @@ let of_transport ~h transport =
       (fun node handler ->
         Net.Transport.attach transport node (fun ~src:_ body -> handler body));
     send = (fun ~src ~dst body -> request ~src ~dsts:[ dst ] body);
-    multicast = (fun ~src ~dsts body -> request ~src ~dsts body);
+    multicast =
+      (fun ~src ~dsts body -> request ~src ~dsts:(Array.to_list dsts) body);
   }
 
 let make ~engine ~fault ~traffic ~attach ~send ~multicast =
@@ -66,9 +64,14 @@ let send t ~src ~dst body = t.send ~src ~dst body
 let multicast t ~src ~dsts body = t.multicast ~src ~dsts body
 
 let with_codec codec inner =
+  (* One pooled writer per medium: its storage grows to the largest PDU and
+     stays there.  Mediums are per-run (never shared across Pool domains)
+     and [through] never reenters itself, so the writer has one user at a
+     time. *)
+  let writer = Net.Bytebuf.Writer.create () in
   let through body =
     if !Sim.Prof.on then Sim.Prof.enter "codec";
-    let raw = Wire_codec.encode_body codec body in
+    let raw = Wire_codec.encode_body_into writer codec body in
     (* The group size is recoverable from the PDU itself only for some
        variants; thread it from the vectors we can see. *)
     let n =

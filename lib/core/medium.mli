@@ -31,7 +31,7 @@ val make :
   attach:(Net.Node_id.t -> ('a Wire.body -> unit) -> unit) ->
   send:(src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit) ->
   multicast:
-    (src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit) ->
+    (src:Net.Node_id.t -> dsts:Net.Node_id.t array -> 'a Wire.body -> unit) ->
   'a t
 (** A custom backend from its primitive operations — the hook the bounded
     schedule explorer ([Workload.Explore]) uses to mount the protocol stack
@@ -49,7 +49,10 @@ val attach : 'a t -> Net.Node_id.t -> ('a Wire.body -> unit) -> unit
 val send : 'a t -> src:Net.Node_id.t -> dst:Net.Node_id.t -> 'a Wire.body -> unit
 
 val multicast :
-  'a t -> src:Net.Node_id.t -> dsts:Net.Node_id.t list -> 'a Wire.body -> unit
+  'a t -> src:Net.Node_id.t -> dsts:Net.Node_id.t array -> 'a Wire.body -> unit
+(** [dsts] is an array (not retained past the call): the caller — one
+    broadcast per member per round on the hot path — hands over an
+    exact-size destination vector without list plumbing. *)
 
 val with_codec : 'a Net.Bytebuf.codec -> 'a t -> 'a t
 (** A serialization boundary: every PDU is encoded to bytes with

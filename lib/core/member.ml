@@ -19,6 +19,33 @@ type 'a action =
   | Queued of Causal.Mid.t * int
   | Left of reason
 
+(* Actions are streamed into a sink as they happen instead of accumulated
+   into a list and replayed: on the n >> 100 hot path the per-message cons
+   cells and [List.rev]/[List.concat_map] plumbing dominated the allocation
+   profile.  The emission order is exactly the order the old list API
+   returned, and member state never depends on a sink callback's effects
+   (callbacks may not call back into this member), so the two forms are
+   observably equivalent — test/member_reference.ml pins this with a
+   randomized equivalence suite. *)
+type 'a sink = {
+  emit_broadcast : 'a Wire.body -> unit;
+  emit_send : Net.Node_id.t -> 'a Wire.body -> unit;
+  emit_processed : 'a Causal.Causal_msg.t -> unit;
+  emit_confirmed : Causal.Mid.t -> unit;
+  emit_discarded : Causal.Mid.t list -> unit;
+  emit_queued : Causal.Mid.t -> int -> unit;
+  emit_left : reason -> unit;
+}
+
+let emit_action sink = function
+  | Broadcast body -> sink.emit_broadcast body
+  | Send (dst, body) -> sink.emit_send dst body
+  | Processed msg -> sink.emit_processed msg
+  | Confirmed mid -> sink.emit_confirmed mid
+  | Discarded mids -> sink.emit_discarded mids
+  | Queued (mid, depth) -> sink.emit_queued mid depth
+  | Left reason -> sink.emit_left reason
+
 type 'a submission = { payload : 'a; deps : Causal.Mid.t list option; size : int }
 
 type 'a t = {
@@ -42,8 +69,14 @@ type 'a t = {
   mutable subrun : int;
 }
 
-let create config id =
+let create ?decision config id =
   let n = config.Config.n in
+  (* Decisions are immutable once built ([Coordinator.compute] copies, never
+     mutates), so a cluster can hand all its members one shared initial
+     decision instead of n private copies of the same twelve arrays. *)
+  let decision =
+    match decision with Some d -> d | None -> Decision.initial ~n
+  in
   {
     id;
     config;
@@ -52,7 +85,7 @@ let create config id =
     waiting = Causal.Waiting_list.create ~n;
     view = Causal.Group_view.create ~n;
     sap = Queue.create ();
-    decision = Decision.initial ~n;
+    decision;
     decision_seen_this_subrun = false;
     next_seq = 1;
     silence = 0;
@@ -82,54 +115,67 @@ let submit ?deps ?size t payload =
   let size = Option.value size ~default:t.config.Config.payload_size in
   Queue.push { payload; deps; size } t.sap
 
-let leave t reason =
+let leave t sink reason =
   t.left <- Some reason;
-  [ Left reason ]
+  sink.emit_left reason
 
 (* -- message processing ---------------------------------------------- *)
 
-let process_one t msg =
+let process_one t sink msg =
   Causal.Delivery.mark t.delivery msg.Causal.Causal_msg.mid;
   Causal.History.store t.history msg;
-  Processed msg
+  sink.emit_processed msg
 
 (* Process [msg] then drain the waiting list: each processed message can make
-   further waiting ones processable.  Returns the actions newest-first so
-   callers can splice trailing actions in before the single final reverse. *)
-let process_cascade_rev t msg =
-  let actions = ref [ process_one t msg ] in
+   further waiting ones processable. *)
+(* Top-level recursion so the per-delivery cascade allocates no closure. *)
+let rec drain_waiting t sink =
+  match Causal.Waiting_list.take_processable t.waiting t.delivery with
+  | None -> ()
+  | Some unblocked ->
+      process_one t sink unblocked;
+      drain_waiting t sink
+
+let process_cascade t sink msg =
+  process_one t sink msg;
   if !Sim.Prof.on then Sim.Prof.enter "member.drain";
-  let rec drain () =
-    match Causal.Waiting_list.take_processable t.waiting t.delivery with
-    | None -> ()
-    | Some unblocked ->
-        actions := process_one t unblocked :: !actions;
-        drain ()
-  in
-  drain ();
-  if !Sim.Prof.on then Sim.Prof.exit ();
-  !actions
+  drain_waiting t sink;
+  if !Sim.Prof.on then Sim.Prof.exit ()
 
-let process_cascade t msg = List.rev (process_cascade_rev t msg)
-
-let receive_data t msg =
+let receive_data t sink msg =
   let mid = msg.Causal.Causal_msg.mid in
-  if Causal.Delivery.processed t.delivery mid then []
-  else if Causal.Delivery.processable t.delivery msg then process_cascade t msg
+  if Causal.Delivery.processed t.delivery mid then ()
+  else if Causal.Delivery.processable t.delivery msg then
+    process_cascade t sink msg
   else begin
     Causal.Waiting_list.add t.waiting msg;
-    [ Queued (mid, Causal.Waiting_list.length t.waiting) ]
+    sink.emit_queued mid (Causal.Waiting_list.length t.waiting)
   end
 
 (* -- data generation --------------------------------------------------- *)
 
+(* The sender's frontier, as an exact-size array sorted by [Mid.compare]
+   (origins ascend, one dep per origin). *)
 let frontier t =
-  let deps = ref [] in
-  for j = t.config.Config.n - 1 downto 0 do
-    let origin = Net.Node_id.of_int j in
-    if not (Net.Node_id.equal origin t.id) then begin
+  let n = t.config.Config.n in
+  let self = Net.Node_id.to_int t.id in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if j <> self && Causal.Delivery.last_processed t.delivery (Net.Node_id.of_int j) > 0
+    then incr count
+  done;
+  let deps = ref [||] in
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    if j <> self then begin
+      let origin = Net.Node_id.of_int j in
       let seq = Causal.Delivery.last_processed t.delivery origin in
-      if seq > 0 then deps := Causal.Mid.make ~origin ~seq :: !deps
+      if seq > 0 then begin
+        let dep = Causal.Mid.make ~origin ~seq in
+        if !k = 0 then deps := Array.make !count dep;
+        !deps.(!k) <- dep;
+        incr k
+      end
     end
   done;
   !deps
@@ -139,13 +185,15 @@ let update_flow_control t =
   | None -> ()
   | Some threshold -> t.flow_blocked <- Causal.History.length t.history >= threshold
 
-let generate_data t =
+let generate_data t sink =
   update_flow_control t;
-  if t.flow_blocked || Queue.is_empty t.sap then []
+  if t.flow_blocked || Queue.is_empty t.sap then ()
   else begin
     if !Sim.Prof.on then Sim.Prof.enter "member.submit";
     let { payload; deps; size } = Queue.pop t.sap in
-    let deps =
+    let mid = Causal.Mid.make ~origin:t.id ~seq:t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    let msg =
       match deps with
       | Some deps ->
           List.iter
@@ -157,20 +205,20 @@ let generate_data t =
                       processed locally"
                      Causal.Mid.pp dep))
             deps;
-          deps
-      | None -> frontier t
+          Causal.Causal_msg.make ~mid ~deps ~payload_size:size payload
+      | None ->
+          Causal.Causal_msg.of_sorted_deps ~mid ~deps:(frontier t)
+            ~payload_size:size payload
     in
-    let mid = Causal.Mid.make ~origin:t.id ~seq:t.next_seq in
-    t.next_seq <- t.next_seq + 1;
-    let msg = Causal.Causal_msg.make ~mid ~deps ~payload_size:size payload in
-    (* The sender processes its own message immediately: its dependencies are
-       all in its processed prefix by construction. *)
-    let processed_rev = process_cascade_rev t msg in
-    let actions =
-      Broadcast (Wire.Data msg) :: List.rev (Confirmed mid :: processed_rev)
-    in
-    if !Sim.Prof.on then Sim.Prof.exit ();
-    actions
+    (* Broadcast first, then the local processing cascade, then the
+       confirmation — the order the old list API established.  The sender
+       processes its own message immediately: its dependencies are all in
+       its processed prefix by construction, and nothing the broadcast
+       emission does reads the delivery state the cascade updates. *)
+    sink.emit_broadcast (Wire.Data msg);
+    process_cascade t sink msg;
+    sink.emit_confirmed mid;
+    if !Sim.Prof.on then Sim.Prof.exit ()
   end
 
 (* -- decisions --------------------------------------------------------- *)
@@ -186,7 +234,7 @@ let purge_history t (d : Decision.t) =
    so the gap between what anyone processed and the oldest waiting message can
    never be filled.  The group agreed (full-group decision) to destroy the
    waiting messages that depend on it. *)
-let purge_orphans t (d : Decision.t) =
+let purge_orphans t sink (d : Decision.t) =
   if !Sim.Prof.on then Sim.Prof.enter "member.discard";
   (* Accumulated in reverse, reversed once at the end: origins ascending,
      each origin's mids in discard order. *)
@@ -205,11 +253,10 @@ let purge_orphans t (d : Decision.t) =
       discarded := List.rev_append mids !discarded
     end
   done;
-  let actions =
-    match !discarded with [] -> [] | mids -> [ Discarded (List.rev mids) ]
-  in
-  if !Sim.Prof.on then Sim.Prof.exit ();
-  actions
+  (match !discarded with
+  | [] -> ()
+  | mids -> sink.emit_discarded (List.rev mids));
+  if !Sim.Prof.on then Sim.Prof.exit ()
 
 (* [evidence] says whether adopting [d] proves some *other* process is still
    running: the decision was issued by another coordinator, or (when we
@@ -219,9 +266,8 @@ let purge_orphans t (d : Decision.t) =
    them as such is what kept the expelled-but-silenced zombie of
    docs/EXPLORE.md alive forever.  Singleton groups are exempt: no other
    process exists whose evidence could ever arrive. *)
-let adopt_decision t ~evidence d =
-  if not (Decision.newer d ~than:t.decision) then []
-  else begin
+let adopt_decision t sink ~evidence d =
+  if Decision.newer d ~than:t.decision then begin
     if !Sim.Prof.on then Sim.Prof.enter "member.adopt";
     t.decision <- d;
     if evidence || t.config.Config.n = 1 then begin
@@ -229,68 +275,102 @@ let adopt_decision t ~evidence d =
       t.silence <- 0
     end;
     Causal.Group_view.set_alive_array t.view d.Decision.alive;
-    let actions =
-      if not d.Decision.alive.(Net.Node_id.to_int t.id) then
-        (* "When an alive process notices it is supposed dead, it commits
-           suicide." *)
-        leave t Declared_crashed
-      else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
-      then
-        (* Primary-partition discipline: in a multi-process group a view that
-           degenerates to {self} is indistinguishable from being partitioned
-           away from a surviving majority, so the process departs instead of
-           coordinating a group nobody else belongs to. *)
-        leave t Partitioned
-      else if d.Decision.full_group then begin
-        purge_history t d;
-        purge_orphans t d
-      end
-      else []
-    in
-    if !Sim.Prof.on then Sim.Prof.exit ();
-    actions
+    if not d.Decision.alive.(Net.Node_id.to_int t.id) then
+      (* "When an alive process notices it is supposed dead, it commits
+         suicide." *)
+      leave t sink Declared_crashed
+    else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
+    then
+      (* Primary-partition discipline: in a multi-process group a view that
+         degenerates to {self} is indistinguishable from being partitioned
+         away from a surviving majority, so the process departs instead of
+         coordinating a group nobody else belongs to. *)
+      leave t sink Partitioned
+    else if d.Decision.full_group then begin
+      purge_history t d;
+      purge_orphans t sink d
+    end;
+    if !Sim.Prof.on then Sim.Prof.exit ()
   end
 
 (* -- recovery ---------------------------------------------------------- *)
 
-let recovery_requests t =
+(* Known gaps against the decision's max_processed vector, without building
+   the request PDUs: [count_recovery_gaps] feeds the stall tracker, and
+   [emit_recovery_requests] (origins ascending, the old list order) builds
+   the PDUs only when the process stays in the group. *)
+let count_recovery_gaps t =
   let d = t.decision in
-  let gaps = ref [] in
-  for j = t.config.Config.n - 1 downto 0 do
+  let gaps = ref 0 in
+  for j = 0 to t.config.Config.n - 1 do
+    let origin = Net.Node_id.of_int j in
+    let mine = Causal.Delivery.last_processed t.delivery origin in
+    if
+      d.Decision.max_processed.(j) > mine
+      && not (Net.Node_id.equal d.Decision.most_updated.(j) t.id)
+    then incr gaps
+  done;
+  !gaps
+
+let emit_recovery_requests t sink =
+  let d = t.decision in
+  for j = 0 to t.config.Config.n - 1 do
     let origin = Net.Node_id.of_int j in
     let mine = Causal.Delivery.last_processed t.delivery origin in
     if d.Decision.max_processed.(j) > mine then begin
       let target = d.Decision.most_updated.(j) in
       if not (Net.Node_id.equal target t.id) then
-        gaps :=
-          Send
-            ( target,
-              Wire.Recover_req
-                {
-                  requester = t.id;
-                  origin;
-                  from_seq = mine + 1;
-                  to_seq = d.Decision.max_processed.(j);
-                } )
-          :: !gaps
+        sink.emit_send target
+          (Wire.Recover_req
+             {
+               requester = t.id;
+               origin;
+               from_seq = mine + 1;
+               to_seq = d.Decision.max_processed.(j);
+             })
     end
-  done;
-  !gaps
+  done
 
-let track_recovery_progress t requests =
-  if requests = [] then begin
+(* Returns [true] when the process leaves (recovery exhausted): [gaps] many
+   recovery requests are outstanding this subrun. *)
+let track_recovery_progress t sink ~gaps =
+  if gaps = 0 then begin
     t.recovery_stalled <- 0;
     t.recovery_baseline <- Causal.Delivery.count t.delivery;
-    []
+    false
   end
   else begin
     let count = Causal.Delivery.count t.delivery in
     if count > t.recovery_baseline then t.recovery_stalled <- 0
     else t.recovery_stalled <- t.recovery_stalled + 1;
     t.recovery_baseline <- count;
-    if t.recovery_stalled >= t.config.Config.r then leave t Recovery_exhausted
-    else []
+    if t.recovery_stalled >= t.config.Config.r then begin
+      leave t sink Recovery_exhausted;
+      true
+    end
+    else false
   end
+
+(* Collects a sink's emissions into a list (original API order).  Used by
+   the public list wrappers, and by the coordinator path of mid_subrun
+   where the decision broadcast must be emitted before the adoption's local
+   actions even though adoption runs first. *)
+let collecting f =
+  let acc = ref [] in
+  let push action = acc := action :: !acc in
+  let sink =
+    {
+      emit_broadcast = (fun body -> push (Broadcast body));
+      emit_send = (fun dst body -> push (Send (dst, body)));
+      emit_processed = (fun msg -> push (Processed msg));
+      emit_confirmed = (fun mid -> push (Confirmed mid));
+      emit_discarded = (fun mids -> push (Discarded mids));
+      emit_queued = (fun mid depth -> push (Queued (mid, depth)));
+      emit_left = (fun reason -> push (Left reason));
+    }
+  in
+  f sink;
+  List.rev !acc
 
 (* -- round hooks ------------------------------------------------------- *)
 
@@ -303,86 +383,99 @@ let my_request t ~subrun =
     prev_decision = t.decision;
   }
 
-let begin_subrun t ~subrun =
-  if not (active t) then []
-  else begin
+let begin_subrun_into t sink ~subrun =
+  if active t then begin
     (* Silence bookkeeping: a subrun elapsed without any decision. *)
     if t.subrun >= 0 && not t.decision_seen_this_subrun then
       t.silence <- t.silence + 1;
     t.subrun <- subrun;
     t.decision_seen_this_subrun <- false;
-    if t.silence >= t.config.Config.silence_limit then leave t Decision_silence
+    if t.silence >= t.config.Config.silence_limit then
+      leave t sink Decision_silence
     else begin
       let coordinator =
+        (* [alive_raw]: rotation only reads the vector, no copy needed. *)
         Coordinator.rotation
-          ~alive:(Causal.Group_view.alive_array t.view)
+          ~alive:(Causal.Group_view.alive_raw t.view)
           ~subrun
       in
       let request = my_request t ~subrun in
-      let request_actions =
+      let request_to =
         if Net.Node_id.equal coordinator t.id then begin
           t.coordinator_for <- Some subrun;
           t.pending_requests <- [ request ];
-          []
+          None
         end
         else begin
           t.coordinator_for <- None;
           t.pending_requests <- [];
-          [ Send (coordinator, Wire.Request request) ]
+          Some coordinator
         end
       in
-      let recovery = recovery_requests t in
-      let left = track_recovery_progress t recovery in
-      if left <> [] then left
-      else request_actions @ recovery @ generate_data t
+      (* The stall tracker must run — and may retire the process — before
+         anything is emitted: the old list API dropped the request,
+         recovery and data actions of the subrun that exhausted recovery. *)
+      let gaps = count_recovery_gaps t in
+      if not (track_recovery_progress t sink ~gaps) then begin
+        (match request_to with
+        | Some coordinator ->
+            sink.emit_send coordinator (Wire.Request request)
+        | None -> ());
+        if gaps > 0 then emit_recovery_requests t sink;
+        generate_data t sink
+      end
     end
   end
 
-let mid_subrun t ~subrun =
-  if not (active t) then []
-  else begin
-    let decision_actions =
-      match t.coordinator_for with
-      | Some s when s = subrun ->
-          let requests = t.pending_requests in
-          t.pending_requests <- [];
-          t.coordinator_for <- None;
-          if !Sim.Prof.on then Sim.Prof.enter "member.aggregate";
-          let prev = Coordinator.merge_prev t.decision requests in
-          let d =
-            Coordinator.compute ~config:t.config ~subrun ~coordinator:t.id
-              ~prev ~requests
-          in
-          if !Sim.Prof.on then Sim.Prof.exit ();
-          let evidence =
-            List.exists
-              (fun (r : Wire.request) ->
-                not (Net.Node_id.equal r.Wire.sender t.id))
-              requests
-          in
-          let local = adopt_decision t ~evidence d in
-          if active t then (Broadcast (Wire.Decision_pdu d) :: local) else local
-      | Some _ | None -> []
-    in
-    if active t then decision_actions @ generate_data t else decision_actions
+let mid_subrun_into t sink ~subrun =
+  if active t then begin
+    (match t.coordinator_for with
+    | Some s when s = subrun ->
+        let requests = t.pending_requests in
+        t.pending_requests <- [];
+        t.coordinator_for <- None;
+        if !Sim.Prof.on then Sim.Prof.enter "member.aggregate";
+        let prev = Coordinator.merge_prev t.decision requests in
+        let d =
+          Coordinator.compute ~config:t.config ~subrun ~coordinator:t.id
+            ~prev ~requests
+        in
+        if !Sim.Prof.on then Sim.Prof.exit ();
+        let evidence =
+          List.exists
+            (fun (r : Wire.request) ->
+              not (Net.Node_id.equal r.Wire.sender t.id))
+            requests
+        in
+        (* The broadcast rides ahead of the local adoption effects, as in
+           the old list order — but adoption must run first, since the
+           broadcast's destination set is read from the adopted view, and a
+           coordinator that adopts itself dead broadcasts nothing.  The
+           (rare, at most one Left or Discarded) local actions are buffered
+           and replayed after the broadcast. *)
+        let local = collecting (fun s -> adopt_decision t s ~evidence d) in
+        if active t then sink.emit_broadcast (Wire.Decision_pdu d);
+        List.iter (emit_action sink) local
+    | Some _ | None -> ());
+    if active t then generate_data t sink
   end
 
 (* -- PDU handler ------------------------------------------------------- *)
 
-let handle_recover_req t { Wire.requester; origin; from_seq; to_seq } =
+let handle_recover_req t sink { Wire.requester; origin; from_seq; to_seq } =
   (* Cap the reply so a single PDU stays within a sane datagram budget. *)
   let to_seq = min to_seq (from_seq + 63) in
   let messages = Causal.History.range t.history ~origin ~lo:from_seq ~hi:to_seq in
-  if messages = [] then []
-  else [ Send (requester, Wire.Recover_reply { responder = t.id; messages }) ]
+  if messages <> [] then
+    sink.emit_send requester
+      (Wire.Recover_reply { responder = t.id; messages })
 
-let handle t body =
-  if not (active t) then []
-  else
+let handle_into t sink body =
+  if active t then
     match body with
-    | Wire.Data msg -> receive_data t msg
-    | Wire.Request r ->
-        (match t.coordinator_for with
+    | Wire.Data msg -> receive_data t sink msg
+    | Wire.Request r -> (
+        match t.coordinator_for with
         | Some s when s = r.Wire.subrun ->
             let already =
               List.exists
@@ -390,15 +483,27 @@ let handle t body =
                 t.pending_requests
             in
             if not already then t.pending_requests <- r :: t.pending_requests
-        | Some _ | None -> ());
-        []
+        | Some _ | None -> ())
     | Wire.Decision_pdu d ->
         (* A decision arriving over the network was sent by its coordinator;
            it is evidence of another live process exactly when that
            coordinator is somebody else. *)
-        adopt_decision t
+        adopt_decision t sink
           ~evidence:(not (Net.Node_id.equal d.Decision.coordinator t.id))
           d
-    | Wire.Recover_req req -> handle_recover_req t req
+    | Wire.Recover_req req -> handle_recover_req t sink req
     | Wire.Recover_reply { messages; _ } ->
-        List.concat_map (receive_data t) messages
+        List.iter (receive_data t sink) messages
+
+(* -- list compatibility wrappers ---------------------------------------
+
+   The original API returned action lists; unit tests and the reference
+   equivalence suite still consume that form. *)
+
+let begin_subrun t ~subrun =
+  collecting (fun sink -> begin_subrun_into t sink ~subrun)
+
+let mid_subrun t ~subrun =
+  collecting (fun sink -> mid_subrun_into t sink ~subrun)
+
+let handle t body = collecting (fun sink -> handle_into t sink body)

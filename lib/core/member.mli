@@ -45,9 +45,30 @@ type 'a action =
           int is the waiting-list length after the add *)
   | Left of reason  (** the process left the group and stops participating *)
 
+type 'a sink = {
+  emit_broadcast : 'a Wire.body -> unit;
+  emit_send : Net.Node_id.t -> 'a Wire.body -> unit;
+  emit_processed : 'a Causal.Causal_msg.t -> unit;
+  emit_confirmed : Causal.Mid.t -> unit;
+  emit_discarded : Causal.Mid.t list -> unit;
+  emit_queued : Causal.Mid.t -> int -> unit;
+  emit_left : reason -> unit;
+}
+(** Streaming consumer of a member's actions: one callback per {!action}
+    constructor, invoked in exactly the order the list API returns the
+    actions.  The hot-path entry points ({!begin_subrun_into},
+    {!mid_subrun_into}, {!handle_into}) emit into a sink as the actions
+    happen instead of accumulating a list — the embedding ({!Cluster})
+    allocates one sink per member for the whole run.  Sink callbacks must
+    not call back into the emitting member. *)
+
 type 'a t
 
-val create : Config.t -> Net.Node_id.t -> 'a t
+val create : ?decision:Decision.t -> Config.t -> Net.Node_id.t -> 'a t
+(** [?decision] seeds the member's adopted decision (defaults to a fresh
+    [Decision.initial]).  Decisions are immutable after construction, so a
+    cluster passes one shared initial decision to all its members rather
+    than allocating n identical copies. *)
 
 val id : 'a t -> Net.Node_id.t
 val config : 'a t -> Config.t
@@ -74,7 +95,14 @@ val submit : ?deps:Causal.Mid.t list -> ?size:int -> 'a t -> 'a -> unit
     origin), the densest labelling allowed by Definition 3.1's intermediate
     interpretation.  [size] defaults to the configured payload size. *)
 
+val begin_subrun_into : 'a t -> 'a sink -> subrun:int -> unit
+
+val mid_subrun_into : 'a t -> 'a sink -> subrun:int -> unit
+
+val handle_into : 'a t -> 'a sink -> 'a Wire.body -> unit
+
 val begin_subrun : 'a t -> subrun:int -> 'a action list
+(** List form of {!begin_subrun_into} (collects the emissions). *)
 
 val mid_subrun : 'a t -> subrun:int -> 'a action list
 

@@ -18,11 +18,17 @@ let attach cluster node =
         (Queue.pop t.awaiting_conf) mid);
   Cluster.on_delivery cluster (fun { Cluster.node = at; msg; _ } ->
       if Net.Node_id.equal at node then
-        List.iter
-          (fun callback ->
-            callback ~mid:msg.Causal.Causal_msg.mid
-              ~deps:msg.Causal.Causal_msg.deps msg.Causal.Causal_msg.payload)
-          (List.rev t.ind_callbacks));
+        match List.rev t.ind_callbacks with
+        | [] -> ()
+        | callbacks ->
+            (* The callback API exposes deps as a list; convert once per
+               delivery, and only when someone is listening. *)
+            let deps = Array.to_list msg.Causal.Causal_msg.deps in
+            List.iter
+              (fun callback ->
+                callback ~mid:msg.Causal.Causal_msg.mid ~deps
+                  msg.Causal.Causal_msg.payload)
+              callbacks);
   t
 
 let id t = t.node

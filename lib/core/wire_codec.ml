@@ -32,6 +32,23 @@ let read_mid r =
   if seq < 1 then Error "mid: sequence number must be >= 1"
   else Ok (Causal.Mid.make ~origin:(Net.Node_id.of_int origin) ~seq)
 
+(* [n] decoded values as an array, filled in place (no list accumulation:
+   vector frames are decoded once per control PDU and were a steady source
+   of [List.rev] garbage). *)
+let read_vec r n read_one =
+  if n = 0 then Ok [||]
+  else
+    let* first = read_one r in
+    let arr = Array.make n first in
+    let rec loop i =
+      if i = n then Ok arr
+      else
+        let* v = read_one r in
+        arr.(i) <- v;
+        loop (i + 1)
+    in
+    loop 1
+
 (* -- data messages --------------------------------------------------------
 
    Layout (= Causal_msg.header_size + 8 |deps| + payload):
@@ -49,9 +66,9 @@ let write_data payload w (msg : 'a Causal.Causal_msg.t) =
   W.u8 w tag_data;
   W.u24 w (Net.Node_id.to_int (Causal.Mid.origin msg.mid));
   W.u32 w (Causal.Mid.seq msg.mid);
-  W.u16 w (List.length msg.deps);
+  W.u16 w (Array.length msg.deps);
   W.u16 w (Bytes.length body);
-  List.iter (write_mid w) msg.deps;
+  Array.iter (write_mid w) msg.deps;
   W.bytes w body
 
 (* The tag has been consumed by the dispatcher. *)
@@ -61,24 +78,20 @@ let read_data payload r =
   let* dep_count = R.u16 r in
   let* payload_len = R.u16 r in
   if seq < 1 then Error "data: sequence number must be >= 1"
-  else begin
-    let rec read_deps k acc =
-      if k = 0 then Ok (List.rev acc)
-      else
-        let* mid = read_mid r in
-        read_deps (k - 1) (mid :: acc)
-    in
-    let* deps = read_deps dep_count [] in
+  else
+    let* deps = read_vec r dep_count read_mid in
     let* raw = R.bytes r payload_len in
     let* value = payload.decode raw in
+    (* [of_sorted_deps] rather than [make]: the encoder always writes deps
+       sorted, so an out-of-order frame is a malformed frame and decodes to
+       an error rather than being silently re-sorted. *)
     match
-      Causal.Causal_msg.make
+      Causal.Causal_msg.of_sorted_deps
         ~mid:(Causal.Mid.make ~origin:(Net.Node_id.of_int origin) ~seq)
         ~deps ~payload_size:payload_len value
     with
     | msg -> Ok msg
     | exception Invalid_argument reason -> Error reason
-  end
 
 (* -- decisions ------------------------------------------------------------
 
@@ -108,15 +121,6 @@ let encode_decision d =
   let w = W.create () in
   write_decision w d;
   W.contents w
-
-let read_vec r n read_one =
-  let rec loop k acc =
-    if k = 0 then Ok (Array.of_list (List.rev acc))
-    else
-      let* v = read_one r in
-      loop (k - 1) (v :: acc)
-  in
-  loop n []
 
 let decode_decision ~n r =
   let* subrun_plus1 = R.u32 r in
@@ -191,9 +195,8 @@ let read_request ~n r =
 
 (* -- top level ------------------------------------------------------------ *)
 
-let encode_body payload body =
-  let w = W.create () in
-  (match body with
+let write_body payload w body =
+  match body with
   | Wire.Data msg -> write_data payload w msg
   | Wire.Request r -> write_request w r
   | Wire.Decision_pdu d ->
@@ -214,7 +217,16 @@ let encode_body payload body =
          Ok with fewer messages; an explicit count makes that an error. *)
       W.u24 w (List.length messages);
       W.u32 w (Net.Node_id.to_int responder);
-      List.iter (write_data payload w) messages);
+      List.iter (write_data payload w) messages
+
+let encode_body_into w payload body =
+  W.clear w;
+  write_body payload w body;
+  W.contents w
+
+let encode_body payload body =
+  let w = W.create () in
+  write_body payload w body;
   W.contents w
 
 let decode_body payload ~n raw =

@@ -22,6 +22,13 @@ val encode_body : 'a payload -> 'a Wire.body -> bytes
     differs from the payload's actual encoded length (the size accounting
     would silently lie otherwise), or if a field exceeds its wire width. *)
 
+val encode_body_into :
+  Net.Bytebuf.Writer.t -> 'a payload -> 'a Wire.body -> bytes
+(** [encode_body] writing into a caller-pooled writer (cleared first):
+    encode-heavy loops reuse one grown buffer instead of allocating a
+    fresh writer per PDU.  Produces exactly the bytes {!encode_body}
+    would. *)
+
 val decode_body : 'a payload -> n:int -> bytes -> ('a Wire.body, string) result
 
 val encode_decision : Decision.t -> bytes

@@ -10,17 +10,32 @@ type latency = { base : Sim.Ticks.t; jitter : int }
 
 let default_latency = { base = Sim.Ticks.of_int 40; jitter = 10 }
 
+(* Packet handlers see the full datagram; payload handlers are the
+   allocation-free fast path for receivers that only read the payload —
+   batched delivery then never materializes a packet record for them. *)
+type 'msg handler =
+  | No_handler
+  | Packet_handler of ('msg packet -> unit)
+  | Payload_handler of ('msg -> unit)
+
 type 'msg t = {
   engine : Sim.Engine.t;
   fault : Fault.t;
   rng : Sim.Rng.t;
   latency : latency;
   traffic : Traffic.t;
-  handlers : (Node_id.t, 'msg packet -> unit) Hashtbl.t;
+  (* Dense, indexed by [Node_id.to_int]: the per-delivery lookup is an
+     array read, not a hash probe allocating an option. *)
+  mutable handlers : 'msg handler array;
   mutable delivered : int;
   mutable dropped : int;
   mutable filter : ('msg packet -> bool) option;
   mutable trace : Sim.Trace.t;
+  (* Per-destination jitter offsets of the multicast being bucketed; only
+     live within one [multicast_array] call (no user code runs while it is
+     in use), and owned by this network — [Pool]-parallel campaigns give
+     every run its own network, so no domain shares it. *)
+  mutable scratch_offsets : int array;
 }
 
 let create ?(latency = default_latency) engine ~fault ~rng () =
@@ -30,21 +45,37 @@ let create ?(latency = default_latency) engine ~fault ~rng () =
     rng;
     latency;
     traffic = Traffic.create ();
-    handlers = Hashtbl.create 64;
+    handlers = [||];
     delivered = 0;
     dropped = 0;
     filter = None;
     trace = Sim.Trace.null;
+    scratch_offsets = [||];
   }
 
 let engine t = t.engine
 let fault t = t.fault
 let traffic t = t.traffic
 
-let attach t node handler =
-  if Hashtbl.mem t.handlers node then
-    invalid_arg "Netsim.attach: node already attached";
-  Hashtbl.replace t.handlers node handler
+let handler_slot t node =
+  let i = Node_id.to_int node in
+  if i < Array.length t.handlers then t.handlers.(i) else No_handler
+
+let set_handler t node handler =
+  let i = Node_id.to_int node in
+  if i >= Array.length t.handlers then begin
+    let grown = Array.make (max 16 (2 * (i + 1))) No_handler in
+    Array.blit t.handlers 0 grown 0 (Array.length t.handlers);
+    t.handlers <- grown
+  end;
+  (match t.handlers.(i) with
+  | No_handler -> ()
+  | Packet_handler _ | Payload_handler _ ->
+      invalid_arg "Netsim.attach: node already attached");
+  t.handlers.(i) <- handler
+
+let attach t node handler = set_handler t node (Packet_handler handler)
+let attach_payload t node handler = set_handler t node (Payload_handler handler)
 
 let one_way_delay t =
   let jitter =
@@ -58,28 +89,34 @@ let traffic_class_of_kind = function
   | Traffic.Recovery -> Sim.Trace.Traffic_class.Recovery
   | Traffic.Ack -> Sim.Trace.Traffic_class.Ack
 
-let drop t packet stage =
+let drop_fields t ~src ~dst ~kind stage =
   t.dropped <- t.dropped + 1;
   if Sim.Trace.enabled t.trace then
     Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine)
       (Sim.Trace.Drop
          {
-           src = Node_id.to_int packet.src;
-           dst = Node_id.to_int packet.dst;
-           kind = traffic_class_of_kind packet.kind;
+           src = Node_id.to_int src;
+           dst = Node_id.to_int dst;
+           kind = traffic_class_of_kind kind;
            stage;
          })
+
+let drop t packet stage =
+  drop_fields t ~src:packet.src ~dst:packet.dst ~kind:packet.kind stage
 
 let deliver t packet =
   let now = Sim.Engine.now t.engine in
   if Fault.drop_on_recv t.fault ~now packet.dst then
     drop t packet Sim.Trace.On_recv
   else
-    match Hashtbl.find_opt t.handlers packet.dst with
-    | None -> t.dropped <- t.dropped + 1
-    | Some handler ->
+    match handler_slot t packet.dst with
+    | No_handler -> t.dropped <- t.dropped + 1
+    | Packet_handler handler ->
         t.delivered <- t.delivered + 1;
         handler packet
+    | Payload_handler handler ->
+        t.delivered <- t.delivered + 1;
+        handler packet.payload
 
 let filtered_out t packet =
   match t.filter with None -> false | Some keep -> not (keep packet)
@@ -106,6 +143,88 @@ let send t ~src ~dst ~kind ~size payload =
 
 let multicast t ~src ~dsts ~kind ~size payload =
   List.iter (fun dst -> send t ~src ~dst ~kind ~size payload) dsts
+
+(* Deliver one jitter bucket of a batched multicast: the surviving
+   destinations that drew the same delay, in original destination order.
+   Packets are materialized here, per delivered destination, rather than at
+   send time for the whole fan-out. *)
+let deliver_batch t ~src ~kind ~size payload batch =
+  let now = Sim.Engine.now t.engine in
+  for i = 0 to Array.length batch - 1 do
+    let dst = batch.(i) in
+    if Fault.drop_on_recv t.fault ~now dst then
+      drop_fields t ~src ~dst ~kind Sim.Trace.On_recv
+    else
+      match handler_slot t dst with
+      | No_handler -> t.dropped <- t.dropped + 1
+      | Payload_handler handler ->
+          t.delivered <- t.delivered + 1;
+          handler payload
+      | Packet_handler handler ->
+          t.delivered <- t.delivered + 1;
+          handler { src; dst; kind; size; payload }
+  done
+
+(* One batched delivery event per distinct jitter offset instead of one
+   event + closure + packet per destination.  Byte-identical to the n-unicast
+   form: the RNG draws (send fault, link fault, jitter — per destination, in
+   destination order) happen in pass 1 exactly as [send] interleaved them,
+   and the delivery order is unchanged — the old per-destination events of
+   one multicast carried consecutive engine seqs, so they popped sorted by
+   (delay, destination index), which is precisely how the buckets fire (one
+   event per delay, ascending, each delivering in destination order; receive
+   omissions are drawn at delivery in that same global order). *)
+let multicast_array t ~src ~dsts ~kind ~size payload =
+  let len = Array.length dsts in
+  let jitter = t.latency.jitter in
+  if len = 0 then ()
+  else if t.filter <> None || jitter > 64 then
+    (* A scripted filter wants a per-destination packet at send time, and a
+       pathological jitter range would cost more to bucket than to fan out:
+       take the n-unicast path (same draws, same events as ever). *)
+    Array.iter (fun dst -> send t ~src ~dst ~kind ~size payload) dsts
+  else begin
+    if !Sim.Prof.on then Sim.Prof.enter "net.send";
+    let now = Sim.Engine.now t.engine in
+    if Array.length t.scratch_offsets < len then
+      t.scratch_offsets <- Array.make (max 16 (2 * len)) 0;
+    let offsets = t.scratch_offsets in
+    for i = 0 to len - 1 do
+      let dst = dsts.(i) in
+      Traffic.record t.traffic ~kind ~size;
+      if Fault.drop_on_send t.fault ~now src then begin
+        drop_fields t ~src ~dst ~kind Sim.Trace.On_send;
+        offsets.(i) <- -1
+      end
+      else if Fault.drop_on_link t.fault then begin
+        drop_fields t ~src ~dst ~kind Sim.Trace.On_link;
+        offsets.(i) <- -1
+      end
+      else offsets.(i) <- if jitter <= 0 then 0 else Sim.Rng.int t.rng jitter
+    done;
+    let max_offset = if jitter <= 0 then 0 else jitter - 1 in
+    for o = 0 to max_offset do
+      let count = ref 0 in
+      for i = 0 to len - 1 do
+        if offsets.(i) = o then incr count
+      done;
+      if !count > 0 then begin
+        let batch = Array.make !count src in
+        let k = ref 0 in
+        for i = 0 to len - 1 do
+          if offsets.(i) = o then begin
+            batch.(!k) <- dsts.(i);
+            incr k
+          end
+        done;
+        let delay = Sim.Ticks.add t.latency.base (Sim.Ticks.of_int o) in
+        ignore
+          (Sim.Engine.schedule_after ~label:"net.deliver" t.engine ~delay
+             (fun () -> deliver_batch t ~src ~kind ~size payload batch))
+      end
+    done;
+    if !Sim.Prof.on then Sim.Prof.exit ()
+  end
 
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped

@@ -36,6 +36,11 @@ val attach : 'msg t -> Node_id.t -> ('msg packet -> unit) -> unit
 (** Registers the receive handler of a node.  Raises [Invalid_argument] if
     the node already has a handler. *)
 
+val attach_payload : 'msg t -> Node_id.t -> ('msg -> unit) -> unit
+(** Like {!attach} for receivers that only read the payload: batched
+    delivery then skips materializing a packet record per destination —
+    the allocation-free path the protocol stack mounts on. *)
+
 val send :
   'msg t -> src:Node_id.t -> dst:Node_id.t -> kind:Traffic.kind -> size:int ->
   'msg -> unit
@@ -47,6 +52,15 @@ val multicast :
   'msg t -> src:Node_id.t -> dsts:Node_id.t list -> kind:Traffic.kind ->
   size:int -> 'msg -> unit
 (** [n] independent unicasts, accounted as [List.length dsts] packets. *)
+
+val multicast_array :
+  'msg t -> src:Node_id.t -> dsts:Node_id.t array -> kind:Traffic.kind ->
+  size:int -> 'msg -> unit
+(** Same semantics, fault draws and delivery order as {!multicast} — n
+    independent unicasts — but scheduled as one batched delivery event per
+    distinct jitter value rather than one event, closure and packet per
+    destination.  The allocation-conscious entry point for large fan-outs;
+    [dsts] is not retained. *)
 
 val delivered_count : 'msg t -> int
 (** Packets actually handed to a receive handler (diagnostics). *)

@@ -1,39 +1,67 @@
-(* Slots below [size] are always [Entry]; [Empty] marks unused capacity, so
-   clearing or popping never leaves a stale entry reachable through the
-   backing array (a cleared heap must not keep its old values alive). *)
-type 'a slot =
-  | Empty
-  | Entry of { time : Ticks.t; seq : int; value : 'a }
+(* The heap is stored as three parallel arrays rather than an array of
+   [{ time; seq; value }] records: a push into the record form allocated a
+   5-word box per event, which on the simulation hot path (one push per
+   network packet) was a measurable slice of the per-subrun minor-heap
+   budget.  [Ticks.t] is a private int, so [times] is an unboxed int array
+   at runtime and a push now allocates nothing.
 
-type 'a t = { mutable data : 'a slot array; mutable size : int }
+   Slots at index >= [size] are dead.  Dead [values] slots are overwritten
+   with [dummy] on pop/clear so nothing previously pushed stays reachable
+   through the backing array.  [dummy] is the only unsafe cast in the
+   library: it is never read at type ['a], only stored into dead slots. *)
 
-let create () = { data = [||]; size = 0 }
+type 'a t = {
+  mutable times : Ticks.t array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+}
+
+let dummy : 'a. 'a = Obj.magic ()
+
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let slot_lt a b =
-  match (a, b) with
-  | Entry a, Entry b ->
-      let c = Ticks.compare a.time b.time in
-      if c <> 0 then c < 0 else a.seq < b.seq
-  | (Empty | Entry _), _ -> assert false
+(* Entry [i] sorts before entry [j]: earlier time, then lower seq. *)
+let lt t i j =
+  let c = Ticks.compare t.times.(i) t.times.(j) in
+  if c <> 0 then c < 0 else t.seqs.(i) < t.seqs.(j)
+
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
 
 let grow t =
-  let cap = Array.length t.data in
+  let cap = Array.length t.times in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let data = Array.make new_cap Empty in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
+  let times = Array.make new_cap Ticks.zero in
+  Array.blit t.times 0 times 0 t.size;
+  t.times <- times;
+  let seqs = Array.make new_cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  t.seqs <- seqs;
+  (* [Array.make] with an immediate dummy builds an ordinary (non-flat)
+     array even when ['a] is [float]; the generic accessors handle boxed
+     floats stored into it. *)
+  let values = Array.make new_cap dummy in
+  Array.blit t.values 0 values 0 t.size;
+  t.values <- values
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if slot_lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if lt t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -41,42 +69,48 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && slot_lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && slot_lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~time ~seq value =
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- Entry { time; seq; value };
+  if t.size = Array.length t.times then grow t;
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- seq;
+  t.values.(t.size) <- value;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+let top_time t =
+  if t.size = 0 then invalid_arg "Heap.top_time: empty heap";
+  t.times.(0)
+
+let pop_top t =
+  if t.size = 0 then invalid_arg "Heap.pop_top: empty heap";
+  let v = t.values.(0) in
+  t.size <- t.size - 1;
+  t.times.(0) <- t.times.(t.size);
+  t.seqs.(0) <- t.seqs.(t.size);
+  t.values.(0) <- t.values.(t.size);
+  t.values.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  v
+
 let peek t =
-  if t.size = 0 then None
-  else
-    match t.data.(0) with
-    | Entry e -> Some (e.time, e.seq, e.value)
-    | Empty -> assert false
+  if t.size = 0 then None else Some (t.times.(0), t.seqs.(0), t.values.(0))
 
 let pop t =
   if t.size = 0 then None
   else
-    match t.data.(0) with
-    | Empty -> assert false
-    | Entry e ->
-        t.size <- t.size - 1;
-        t.data.(0) <- t.data.(t.size);
-        t.data.(t.size) <- Empty;
-        if t.size > 0 then sift_down t 0;
-        Some (e.time, e.seq, e.value)
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let v = pop_top t in
+    Some (time, seq, v)
 
 let clear t =
   (* Keep the grown capacity — an engine that drains and restarts would
      otherwise pay the re-growth doublings again — but drop every entry. *)
-  Array.fill t.data 0 t.size Empty;
+  Array.fill t.values 0 t.size dummy;
   t.size <- 0

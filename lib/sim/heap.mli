@@ -20,6 +20,14 @@ val peek : 'a t -> (Ticks.t * int * 'a) option
 val pop : 'a t -> (Ticks.t * int * 'a) option
 (** Removes and returns the smallest element. *)
 
+val top_time : 'a t -> Ticks.t
+(** Time of the smallest element, without allocating.  Raises
+    [Invalid_argument] on an empty heap. *)
+
+val pop_top : 'a t -> 'a
+(** Removes the smallest element and returns its value, without
+    allocating.  Raises [Invalid_argument] on an empty heap. *)
+
 val clear : 'a t -> unit
 (** Empties the heap, releasing every stored entry (nothing previously
     pushed stays reachable through the heap) while keeping the grown

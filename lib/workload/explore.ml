@@ -265,7 +265,7 @@ let run_schedule c ctx =
         handlers.(Net.Node_id.to_int node) <- handler)
       ~send
       ~multicast:(fun ~src ~dsts body ->
-        List.iter (fun dst -> send ~src ~dst body) dsts)
+        Array.iter (fun dst -> send ~src ~dst body) dsts)
   in
   (* -- the protocol stack ---------------------------------------------- *)
   let cluster =

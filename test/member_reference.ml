@@ -1,0 +1,349 @@
+(* Reference copy of the list-building [Urcgc.Member] implementation as it
+   stood before the sink-based action emission rewrite.  The randomized
+   equivalence suite in suite_hotpath.ml drives both this and the production
+   member with identical operation sequences and asserts the action streams
+   and observable state match — the same oracle pattern as
+   waiting_list_reference.ml.  Apart from the [Urcgc.] qualifications and
+   dropped profiling probes, the protocol logic is verbatim. *)
+
+open Urcgc
+
+type 'a action = 'a Member.action
+
+type 'a submission = {
+  payload : 'a;
+  deps : Causal.Mid.t list option;
+  size : int;
+}
+
+type 'a t = {
+  id : Net.Node_id.t;
+  config : Config.t;
+  delivery : Causal.Delivery.t;
+  history : 'a Causal.History.t;
+  waiting : 'a Causal.Waiting_list.t;
+  view : Causal.Group_view.t;
+  sap : 'a submission Queue.t;
+  mutable decision : Decision.t;
+  mutable decision_seen_this_subrun : bool;
+  mutable next_seq : int;
+  mutable silence : int;
+  mutable recovery_stalled : int;
+  mutable recovery_baseline : int;
+  mutable pending_requests : Wire.request list;
+  mutable coordinator_for : int option;
+  mutable left : Member.reason option;
+  mutable flow_blocked : bool;
+  mutable subrun : int;
+}
+
+let create config id =
+  let n = config.Config.n in
+  {
+    id;
+    config;
+    delivery = Causal.Delivery.create ~n;
+    history = Causal.History.create ~n;
+    waiting = Causal.Waiting_list.create ~n;
+    view = Causal.Group_view.create ~n;
+    sap = Queue.create ();
+    decision = Decision.initial ~n;
+    decision_seen_this_subrun = false;
+    next_seq = 1;
+    silence = 0;
+    recovery_stalled = 0;
+    recovery_baseline = 0;
+    pending_requests = [];
+    coordinator_for = None;
+    left = None;
+    flow_blocked = false;
+    subrun = -1;
+  }
+
+let active t = t.left = None
+let history_length t = Causal.History.length t.history
+let waiting_length t = Causal.Waiting_list.length t.waiting
+let processed_count t = Causal.Delivery.count t.delivery
+let last_processed t origin = Causal.Delivery.last_processed t.delivery origin
+let left_reason t = t.left
+let sap_backlog t = Queue.length t.sap
+
+let submit ?deps ?size t payload =
+  let size = Option.value size ~default:t.config.Config.payload_size in
+  Queue.push { payload; deps; size } t.sap
+
+let leave t reason =
+  t.left <- Some reason;
+  [ Member.Left reason ]
+
+(* -- message processing ---------------------------------------------- *)
+
+let process_one t msg =
+  Causal.Delivery.mark t.delivery msg.Causal.Causal_msg.mid;
+  Causal.History.store t.history msg;
+  Member.Processed msg
+
+let process_cascade_rev t msg =
+  let actions = ref [ process_one t msg ] in
+  let rec drain () =
+    match Causal.Waiting_list.take_processable t.waiting t.delivery with
+    | None -> ()
+    | Some unblocked ->
+        actions := process_one t unblocked :: !actions;
+        drain ()
+  in
+  drain ();
+  !actions
+
+let process_cascade t msg = List.rev (process_cascade_rev t msg)
+
+let receive_data t msg =
+  let mid = msg.Causal.Causal_msg.mid in
+  if Causal.Delivery.processed t.delivery mid then []
+  else if Causal.Delivery.processable t.delivery msg then process_cascade t msg
+  else begin
+    Causal.Waiting_list.add t.waiting msg;
+    [ Member.Queued (mid, Causal.Waiting_list.length t.waiting) ]
+  end
+
+(* -- data generation --------------------------------------------------- *)
+
+let frontier t =
+  let deps = ref [] in
+  for j = t.config.Config.n - 1 downto 0 do
+    let origin = Net.Node_id.of_int j in
+    if not (Net.Node_id.equal origin t.id) then begin
+      let seq = Causal.Delivery.last_processed t.delivery origin in
+      if seq > 0 then deps := Causal.Mid.make ~origin ~seq :: !deps
+    end
+  done;
+  !deps
+
+let update_flow_control t =
+  match t.config.Config.flow_threshold with
+  | None -> ()
+  | Some threshold -> t.flow_blocked <- Causal.History.length t.history >= threshold
+
+let generate_data t =
+  update_flow_control t;
+  if t.flow_blocked || Queue.is_empty t.sap then []
+  else begin
+    let { payload; deps; size } = Queue.pop t.sap in
+    let deps =
+      match deps with
+      | Some deps ->
+          List.iter
+            (fun dep ->
+              if not (Causal.Delivery.processed t.delivery dep) then
+                invalid_arg
+                  (Format.asprintf
+                     "Member.generate_data: explicit dependency %a not yet \
+                      processed locally"
+                     Causal.Mid.pp dep))
+            deps;
+          deps
+      | None -> frontier t
+    in
+    let mid = Causal.Mid.make ~origin:t.id ~seq:t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    let msg = Causal.Causal_msg.make ~mid ~deps ~payload_size:size payload in
+    let processed_rev = process_cascade_rev t msg in
+    Member.Broadcast (Wire.Data msg)
+    :: List.rev (Member.Confirmed mid :: processed_rev)
+  end
+
+(* -- decisions --------------------------------------------------------- *)
+
+let purge_history t (d : Decision.t) =
+  for j = 0 to t.config.Config.n - 1 do
+    ignore
+      (Causal.History.purge_upto t.history ~origin:(Net.Node_id.of_int j)
+         ~seq:d.stable.(j))
+  done
+
+let purge_orphans t (d : Decision.t) =
+  let discarded = ref [] in
+  for j = 0 to t.config.Config.n - 1 do
+    if
+      (not d.alive.(j))
+      && d.min_waiting.(j) > 0
+      && d.min_waiting.(j) - d.max_processed.(j) > 1
+    then begin
+      let origin = Net.Node_id.of_int j in
+      let mids =
+        Causal.Waiting_list.discard_from t.waiting ~origin
+          ~seq:(d.max_processed.(j) + 1)
+      in
+      discarded := List.rev_append mids !discarded
+    end
+  done;
+  match !discarded with [] -> [] | mids -> [ Member.Discarded (List.rev mids) ]
+
+let adopt_decision t ~evidence d =
+  if not (Decision.newer d ~than:t.decision) then []
+  else begin
+    t.decision <- d;
+    if evidence || t.config.Config.n = 1 then begin
+      t.decision_seen_this_subrun <- true;
+      t.silence <- 0
+    end;
+    Causal.Group_view.set_alive_array t.view d.Decision.alive;
+    if not d.Decision.alive.(Net.Node_id.to_int t.id) then
+      leave t Member.Declared_crashed
+    else if t.config.Config.n > 1 && Causal.Group_view.cardinal t.view <= 1
+    then leave t Member.Partitioned
+    else if d.Decision.full_group then begin
+      purge_history t d;
+      purge_orphans t d
+    end
+    else []
+  end
+
+(* -- recovery ---------------------------------------------------------- *)
+
+let recovery_requests t =
+  let d = t.decision in
+  let gaps = ref [] in
+  for j = t.config.Config.n - 1 downto 0 do
+    let origin = Net.Node_id.of_int j in
+    let mine = Causal.Delivery.last_processed t.delivery origin in
+    if d.Decision.max_processed.(j) > mine then begin
+      let target = d.Decision.most_updated.(j) in
+      if not (Net.Node_id.equal target t.id) then
+        gaps :=
+          Member.Send
+            ( target,
+              Wire.Recover_req
+                {
+                  requester = t.id;
+                  origin;
+                  from_seq = mine + 1;
+                  to_seq = d.Decision.max_processed.(j);
+                } )
+          :: !gaps
+    end
+  done;
+  !gaps
+
+let track_recovery_progress t requests =
+  if requests = [] then begin
+    t.recovery_stalled <- 0;
+    t.recovery_baseline <- Causal.Delivery.count t.delivery;
+    []
+  end
+  else begin
+    let count = Causal.Delivery.count t.delivery in
+    if count > t.recovery_baseline then t.recovery_stalled <- 0
+    else t.recovery_stalled <- t.recovery_stalled + 1;
+    t.recovery_baseline <- count;
+    if t.recovery_stalled >= t.config.Config.r then
+      leave t Member.Recovery_exhausted
+    else []
+  end
+
+(* -- round hooks ------------------------------------------------------- *)
+
+let my_request t ~subrun =
+  {
+    Wire.sender = t.id;
+    subrun;
+    last_processed = Causal.Delivery.vector t.delivery;
+    waiting = Causal.Waiting_list.oldest_vector t.waiting;
+    prev_decision = t.decision;
+  }
+
+let begin_subrun t ~subrun =
+  if not (active t) then []
+  else begin
+    if t.subrun >= 0 && not t.decision_seen_this_subrun then
+      t.silence <- t.silence + 1;
+    t.subrun <- subrun;
+    t.decision_seen_this_subrun <- false;
+    if t.silence >= t.config.Config.silence_limit then
+      leave t Member.Decision_silence
+    else begin
+      let coordinator =
+        Coordinator.rotation
+          ~alive:(Causal.Group_view.alive_array t.view)
+          ~subrun
+      in
+      let request = my_request t ~subrun in
+      let request_actions =
+        if Net.Node_id.equal coordinator t.id then begin
+          t.coordinator_for <- Some subrun;
+          t.pending_requests <- [ request ];
+          []
+        end
+        else begin
+          t.coordinator_for <- None;
+          t.pending_requests <- [];
+          [ Member.Send (coordinator, Wire.Request request) ]
+        end
+      in
+      let recovery = recovery_requests t in
+      let left = track_recovery_progress t recovery in
+      if left <> [] then left
+      else request_actions @ recovery @ generate_data t
+    end
+  end
+
+let mid_subrun t ~subrun =
+  if not (active t) then []
+  else begin
+    let decision_actions =
+      match t.coordinator_for with
+      | Some s when s = subrun ->
+          let requests = t.pending_requests in
+          t.pending_requests <- [];
+          t.coordinator_for <- None;
+          let prev = Coordinator.merge_prev t.decision requests in
+          let d =
+            Coordinator.compute ~config:t.config ~subrun ~coordinator:t.id
+              ~prev ~requests
+          in
+          let evidence =
+            List.exists
+              (fun (r : Wire.request) ->
+                not (Net.Node_id.equal r.Wire.sender t.id))
+              requests
+          in
+          let local = adopt_decision t ~evidence d in
+          if active t then Member.Broadcast (Wire.Decision_pdu d) :: local
+          else local
+      | Some _ | None -> []
+    in
+    if active t then decision_actions @ generate_data t else decision_actions
+  end
+
+(* -- PDU handler ------------------------------------------------------- *)
+
+let handle_recover_req t { Wire.requester; origin; from_seq; to_seq } =
+  let to_seq = min to_seq (from_seq + 63) in
+  let messages = Causal.History.range t.history ~origin ~lo:from_seq ~hi:to_seq in
+  if messages = [] then []
+  else
+    [ Member.Send (requester, Wire.Recover_reply { responder = t.id; messages }) ]
+
+let handle t body =
+  if not (active t) then []
+  else
+    match body with
+    | Wire.Data msg -> receive_data t msg
+    | Wire.Request r ->
+        (match t.coordinator_for with
+        | Some s when s = r.Wire.subrun ->
+            let already =
+              List.exists
+                (fun (q : Wire.request) -> Net.Node_id.equal q.sender r.sender)
+                t.pending_requests
+            in
+            if not already then t.pending_requests <- r :: t.pending_requests
+        | Some _ | None -> ());
+        []
+    | Wire.Decision_pdu d ->
+        adopt_decision t
+          ~evidence:(not (Net.Node_id.equal d.Decision.coordinator t.id))
+          d
+    | Wire.Recover_req req -> handle_recover_req t req
+    | Wire.Recover_reply { messages; _ } ->
+        List.concat_map (receive_data t) messages

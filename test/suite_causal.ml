@@ -35,7 +35,7 @@ let causal_msg_tests =
     Alcotest.test_case "deps are sorted and deduplicated" `Quick (fun () ->
         let m = msg ~deps:[ mid 2 1; mid 1 4; mid 2 1 ] 0 1 in
         Alcotest.(check (list mid_testable)) "sorted" [ mid 1 4; mid 2 1 ]
-          m.Causal.Causal_msg.deps);
+          (Array.to_list m.Causal.Causal_msg.deps));
     Alcotest.test_case "rejects two deps of the same origin" `Quick (fun () ->
         Alcotest.check_raises "dup origin"
           (Invalid_argument "Causal_msg.make: two dependencies share an origin")
@@ -48,7 +48,7 @@ let causal_msg_tests =
     Alcotest.test_case "accepts dependency on own earlier message" `Quick
       (fun () ->
         let m = msg ~deps:[ mid 0 2 ] 0 5 in
-        Alcotest.(check int) "1 dep" 1 (List.length m.Causal.Causal_msg.deps));
+        Alcotest.(check int) "1 dep" 1 (Array.length m.Causal.Causal_msg.deps));
     Alcotest.test_case "encoded size counts header, deps, payload" `Quick
       (fun () ->
         let m = msg ~deps:[ mid 1 1; mid 2 1 ] 0 1 in

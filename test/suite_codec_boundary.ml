@@ -186,5 +186,73 @@ let decode_error_tests =
           | Error reason -> Alcotest.failf "round-trip failed: %s" reason);
     ]
 
+(* -- dependency-frame edges: empty and the u16 count boundary ------------ *)
+
+let dep_frame_tests =
+  let payload = Urcgc.Wire_codec.string_payload in
+  [
+    Alcotest.test_case "empty-deps data frame round-trips" `Quick (fun () ->
+        let body = Urcgc.Wire.Data (msg_ 1 1 "solo") in
+        let raw = Urcgc.Wire_codec.encode_body payload body in
+        Alcotest.(check int) "length matches Wire.body_size"
+          (Urcgc.Wire.body_size body)
+          (Bytes.length raw);
+        match Urcgc.Wire_codec.decode_body payload ~n:6 raw with
+        | Ok (Urcgc.Wire.Data msg) ->
+            Alcotest.(check int) "no deps" 0
+              (Array.length msg.Causal.Causal_msg.deps);
+            Alcotest.(check string) "payload" "solo"
+              msg.Causal.Causal_msg.payload
+        | Ok _ -> Alcotest.fail "decoded to a different body"
+        | Error reason -> Alcotest.failf "round-trip failed: %s" reason);
+    Alcotest.test_case "65535 deps (u16 max) round-trips" `Slow (fun () ->
+        (* Distinct origins, as the causal model requires: origin o depends
+           on at most one outstanding message. *)
+        let deps = Array.init 65535 (fun o -> mid_ o 1) in
+        let msg =
+          Causal.Causal_msg.of_sorted_deps
+            ~mid:(mid_ 70000 1) ~deps ~payload_size:1 "x"
+        in
+        let raw = Urcgc.Wire_codec.encode_body payload (Urcgc.Wire.Data msg) in
+        match Urcgc.Wire_codec.decode_body payload ~n:6 raw with
+        | Ok (Urcgc.Wire.Data decoded) ->
+            Alcotest.(check int) "all deps back" 65535
+              (Array.length decoded.Causal.Causal_msg.deps);
+            Alcotest.(check bool) "deps identical" true
+              (decoded.Causal.Causal_msg.deps = deps)
+        | Ok _ -> Alcotest.fail "decoded to a different body"
+        | Error reason -> Alcotest.failf "round-trip failed: %s" reason);
+    Alcotest.test_case "65536 deps do not fit the u16 count field" `Slow
+      (fun () ->
+        let deps = Array.init 65536 (fun o -> mid_ o 1) in
+        let msg =
+          Causal.Causal_msg.of_sorted_deps
+            ~mid:(mid_ 70000 1) ~deps ~payload_size:1 "x"
+        in
+        match Urcgc.Wire_codec.encode_body payload (Urcgc.Wire.Data msg) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "overflowing dep count encoded without error");
+    Alcotest.test_case "an out-of-order dep frame decodes to Error" `Quick
+      (fun () ->
+        (* Deps sorted descending on the wire: the encoder never produces
+           this, so the decoder must flag it rather than re-sort. *)
+        let good =
+          Urcgc.Wire_codec.encode_body payload
+            (Urcgc.Wire.Data (msg_ ~deps:[ mid_ 0 1; mid_ 2 1 ] 1 5 "x"))
+        in
+        (* Swap the two 8-byte dep records in place (they start right after
+           the 12-byte data header). *)
+        let swapped = Bytes.copy good in
+        Bytes.blit good 12 swapped 20 8;
+        Bytes.blit good 20 swapped 12 8;
+        match Urcgc.Wire_codec.decode_body payload ~n:6 swapped with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unsorted dep frame decoded Ok");
+  ]
+
 let suite =
-  [ ("codec.boundary", tests); ("codec.decode_errors", decode_error_tests) ]
+  [
+    ("codec.boundary", tests);
+    ("codec.decode_errors", decode_error_tests);
+    ("codec.dep_frames", dep_frame_tests);
+  ]

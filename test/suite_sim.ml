@@ -231,6 +231,65 @@ let rng_tests =
     Alcotest.test_case "geometric at p=1 is 0" `Quick (fun () ->
         let rng = Sim.Rng.create ~seed:23 in
         Alcotest.(check int) "0" 0 (Sim.Rng.geometric rng ~p:1.0));
+    Alcotest.test_case "limb arithmetic matches Int64 splitmix64" `Quick
+      (fun () ->
+        (* The production Rng carries its 64-bit state as two unboxed
+           32-bit halves (allocation-free draws); this boxed Int64 oracle
+           is the original formulation.  Their streams must be bit-equal
+           for every draw shape, or every fixed-seed simulation output
+           shifts. *)
+        let module Ref = struct
+          type t = { mutable state : int64 }
+
+          let golden_gamma = 0x9E3779B97F4A7C15L
+
+          let mix z =
+            let z =
+              Int64.(
+                mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L)
+            in
+            let z =
+              Int64.(
+                mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL)
+            in
+            Int64.(logxor z (shift_right_logical z 31))
+
+          let create ~seed = { state = mix (Int64.of_int seed) }
+
+          let int64 t =
+            t.state <- Int64.add t.state golden_gamma;
+            mix t.state
+
+          let int t bound =
+            let mask = Int64.max_int in
+            let rec draw () =
+              let v = Int64.to_int (Int64.logand (int64 t) mask) in
+              let r = v mod bound in
+              if v - r + (bound - 1) < 0 then draw () else r
+            in
+            draw ()
+
+          let float t bound =
+            let bits = Int64.shift_right_logical (int64 t) 11 in
+            Int64.to_float bits /. 9007199254740992.0 *. bound
+        end in
+        List.iter
+          (fun seed ->
+            let a = Sim.Rng.create ~seed in
+            let b = Ref.create ~seed in
+            for _ = 1 to 200 do
+              Alcotest.(check int64)
+                "raw" (Ref.int64 b) (Sim.Rng.int64 a)
+            done;
+            for bound = 1 to 50 do
+              Alcotest.(check int)
+                "bounded" (Ref.int b bound) (Sim.Rng.int a bound)
+            done;
+            for _ = 1 to 200 do
+              Alcotest.(check (float 0.0))
+                "float" (Ref.float b 1.0) (Sim.Rng.float a 1.0)
+            done)
+          [ 0; 1; 7; 42; 123456789; max_int; min_int; -1 ]);
   ]
 
 let engine_tests =

@@ -145,7 +145,7 @@ let medium_tests =
                ~mid:(Causal.Mid.make ~origin:(node 0) ~seq:1)
                ~deps:[] ~payload_size:4 ())
         in
-        Urcgc.Medium.multicast medium ~src:(node 0) ~dsts:[ node 1 ] msg;
+        Urcgc.Medium.multicast medium ~src:(node 0) ~dsts:[| node 1 |] msg;
         Sim.Engine.run engine;
         Alcotest.(check int) "delivered despite h > |dsts|" 1 !got);
   ]
